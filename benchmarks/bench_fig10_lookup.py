@@ -1,0 +1,43 @@
+"""Fig 10: sample lookup time for 1 M samples, 2 -> 16 nodes.
+
+DLFS resolves through its replicated in-memory AVL directory; Ext4's
+equivalent is a (cold) file open; Octopus pays a cross-node RPC.
+Also checks the §IV-C claim that a DLFS lookup is ~1% of a 128 KB
+sample read.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig10_lookup_time
+from repro.hw import KB
+
+
+def test_fig10_lookup_time(benchmark, emit):
+    result = run_once(benchmark, fig10_lookup_time, scale=1.0)
+    emit(result)
+    nodes = sorted(result.series["DLFS@512B"])
+
+    for size in (512, 128 * KB):
+        dlfs = result.series[f"DLFS@{size}B"]
+        ext4 = result.series[f"Ext4@{size}B"]
+        octo = result.series[f"Octopus@{size}B"]
+        for n in nodes:
+            # Paper: Ext4 is ~2 orders of magnitude above DLFS.
+            assert ext4[n] / dlfs[n] > 30
+            # Paper: Octopus has the longest lookup time of the three.
+            assert octo[n] > ext4[n]
+        # Paper: only DLFS's lookup time decreases linearly with nodes.
+        speedup = dlfs[nodes[0]] / dlfs[nodes[-1]]
+        ideal = nodes[-1] / nodes[0]
+        assert speedup > 0.75 * ideal
+        # Octopus scales worse than DLFS (cross-node communication).
+        oct_speedup = octo[nodes[0]] / octo[nodes[-1]]
+        assert oct_speedup < speedup + 1e-9
+
+    # §IV-C: the 128 KB lookup is ~1% of the sample read time.
+    per_lookup = result.series[f"DLFS@{128 * KB}B"][nodes[0]]
+    # Full-share total over (1M / nodes) lookups -> per-lookup seconds:
+    share = 1_000_000 // nodes[0]
+    per_lookup /= share
+    read_time_128k = 128 * KB / (2.4 * 1024**3) + 12e-6  # transfer + latency
+    assert per_lookup < 0.05 * read_time_128k

@@ -1,0 +1,42 @@
+"""Fig 11: effective throughput on disaggregated NVMe devices.
+
+DLFS-1C: one client, 1-16 remote devices (network-bound past 2 devices);
+DLFS-16C: sixteen clients (device-bound, linear).
+NVMe-1C / NVMe-16C: the paper's analytic ideals.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig11_disaggregation
+
+
+def test_fig11_disaggregation(benchmark, emit):
+    result = run_once(benchmark, fig11_disaggregation, scale=1.0)
+    emit(result)
+    devices = sorted(result.series["DLFS-1C"])
+
+    # Paper: one client achieves 93.4% of the ideal achievable
+    # throughput despite the single-NIC bottleneck.
+    _, one_client_eff = result.headline["DLFS-1C / ideal, paper: 93.4%"]
+    assert one_client_eff > 0.80
+
+    # Paper: 16 clients reach up to 88% of the aggregate device ideal.
+    _, many_eff = result.headline["DLFS-16C / ideal, paper: up to 88%"]
+    assert many_eff > 0.75
+
+    # Paper: the single client's ideal flattens once the network is the
+    # bottleneck (> 2 devices); DLFS-1C must flatten with it.
+    flat = [d for d in devices if d >= 4]
+    if len(flat) >= 2:
+        lo, hi = result.series["DLFS-1C"][flat[0]], result.series["DLFS-1C"][flat[-1]]
+        assert hi < lo * 1.30
+
+    # Paper: with 16 clients throughput increases linearly with devices.
+    d0, d1 = devices[0], devices[-1]
+    growth = result.series["DLFS-16C"][d1] / result.series["DLFS-16C"][d0]
+    assert growth > 0.7 * (d1 / d0)
+
+    # Measured never exceeds the ideal.
+    for d in devices:
+        assert result.series["DLFS-1C"][d] <= result.series["NVMe-1C"][d] * 1.02
+        assert result.series["DLFS-16C"][d] <= result.series["NVMe-16C"][d] * 1.02

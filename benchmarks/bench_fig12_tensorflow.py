@@ -1,0 +1,50 @@
+"""Fig 12: TensorFlow ingest throughput over DLFS / Octopus / Ext4."""
+
+from conftest import run_once
+
+from repro.bench import fig12_tensorflow
+from repro.hw import KB
+
+
+def test_fig12_tensorflow(benchmark, emit):
+    result = run_once(benchmark, fig12_tensorflow, scale=1.0)
+    emit(result)
+    nodes = sorted(result.series["DLFS-TF@512B"])
+    big = 128 * KB
+
+    # Paper 512 B: DLFS-TF 29.93x over Octopus-TF, 102.07x over Ext4-TF.
+    _, oct_small = result.headline["DLFS-TF / Octopus-TF @512B, paper: 29.93x"]
+    _, ext4_small = result.headline["DLFS-TF / Ext4-TF @512B, paper: 102.07x"]
+    assert 15 <= oct_small <= 250
+    assert 30 <= ext4_small <= 300
+
+    # Paper 512 B ordering: DLFS-TF > Octopus-TF > Ext4-TF.
+    for n in nodes:
+        assert (
+            result.series["DLFS-TF@512B"][n]
+            > result.series["Octopus-TF@512B"][n]
+        )
+        assert (
+            result.series["Octopus-TF@512B"][n]
+            > result.series["Ext4-TF@512B"][n]
+        )
+
+    # Paper 128 KB: DLFS-TF highest; 1.25x over Octopus-TF, 61.4% over
+    # Ext4-TF.
+    _, oct_big = result.headline["DLFS-TF / Octopus-TF @128KB, paper: 1.25x"]
+    _, ext4_big = result.headline["DLFS-TF / Ext4-TF @128KB, paper: 1.614x"]
+    assert 1.05 <= oct_big <= 3.0
+    assert 1.2 <= ext4_big <= 4.0
+    for n in nodes:
+        assert (
+            result.series[f"DLFS-TF@{big}B"][n]
+            >= result.series[f"Octopus-TF@{big}B"][n]
+        )
+        assert (
+            result.series[f"DLFS-TF@{big}B"][n]
+            >= result.series[f"Ext4-TF@{big}B"][n]
+        )
+
+    # All systems scale with node count.
+    for name, series in result.series.items():
+        assert series[nodes[-1]] > series[nodes[0]]

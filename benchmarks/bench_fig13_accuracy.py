@@ -1,0 +1,40 @@
+"""Fig 13: training accuracy — Full_Rand vs DLFS-determined ordering.
+
+100 epochs of minibatch SGD on a CIFAR10-like synthetic classification
+set; the DLFS curve uses sample orders produced by the *actual*
+chunk-batching code (random data chunks from the shuffled access list,
+interleaved edge-sample stream).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import fig13_training_accuracy
+
+
+def test_fig13_training_accuracy(benchmark, emit):
+    result = run_once(
+        benchmark, fig13_training_accuracy, epochs=100, num_samples=5000,
+    )
+    emit(result)
+    full = result.series["Full_Rand"]
+    dlfs = result.series["DLFS"]
+    epochs = sorted(full)
+
+    # Paper: "no observable differences in the training accuracy".
+    _, final_gap = result.headline[
+        "final accuracy gap (Full_Rand - DLFS), paper: ~0"
+    ]
+    assert abs(final_gap) < 0.03
+    _, tail_gap = result.headline[
+        "max tail-epoch gap, paper: no observable difference"
+    ]
+    assert tail_gap < 0.05
+
+    # Both runs actually learn (well above 10-class chance).
+    assert full[epochs[-1]] > 0.5
+    assert dlfs[epochs[-1]] > 0.5
+
+    # Curves converge: the second half is better than the first epoch.
+    mid = epochs[len(epochs) // 2]
+    assert np.mean([dlfs[e] for e in epochs if e >= mid]) > dlfs[epochs[0]]

@@ -1,0 +1,68 @@
+"""Extension bench: timed ``dlfs_mount`` breakdown versus node count.
+
+§III-B2: "This distributed generation of AVL trees speeds up the
+creation of the in-memory sample directory."  Staging parallelizes over
+nodes, local tree construction shrinks with the per-node share, and the
+allgather grows only mildly — so total mount time drops as nodes are
+added.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import FigureResult
+from repro.cluster import Cluster, Communicator
+from repro.core import DLFS
+from repro.data import Dataset, ParallelFS
+from repro.hw import KB, Testbed
+from repro.sim import Environment
+
+
+def _mount_once(num_nodes: int, num_samples: int = 200_000,
+                sample_bytes: int = 16 * KB):
+    env = Environment()
+    cluster = Cluster(env, Testbed.paper_emulated(), num_nodes=num_nodes)
+    ds = Dataset.fixed("mount", num_samples, sample_bytes, seed=1)
+    fs = DLFS(cluster, ds)
+    comm = Communicator(cluster)
+    pfs = ParallelFS(env)
+
+    def job(env):
+        report = yield from fs.mount_timed(comm, pfs)
+        return report
+
+    return env.run(until=env.process(job(env)))
+
+
+def test_mount_time_breakdown(benchmark, emit):
+    def run():
+        result = FigureResult(
+            figure="mount_breakdown",
+            title="Extension: dlfs_mount time vs node count "
+                  "(200K samples, 16 KB)",
+            x_label="nodes",
+            y_label="seconds",
+        )
+        for series in ("staging", "tree build", "allgather", "total"):
+            result.series[series] = {}
+        for n in (1, 2, 4, 8, 16):
+            report = _mount_once(n)
+            result.series["staging"][n] = report.staging_time
+            result.series["tree build"][n] = report.directory_build_time
+            result.series["allgather"][n] = report.aggregation_time
+            result.series["total"][n] = report.total
+        return result
+
+    result = run_once(benchmark, run)
+    emit(result)
+    total = result.series["total"]
+    # Mount time drops substantially with more nodes...
+    assert total[16] < total[1] / 4
+    # ...because staging parallelizes and tree building shrinks.
+    assert result.series["staging"][16] < result.series["staging"][1] / 4
+    assert (
+        result.series["tree build"][16]
+        < result.series["tree build"][1] / 4
+    )
+    # The allgather is a small share of the total everywhere.
+    for n in (2, 4, 8, 16):
+        assert result.series["allgather"][n] < 0.25 * total[n]

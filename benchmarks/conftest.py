@@ -1,0 +1,37 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark regenerates one paper figure: it runs the experiment at
+full scale under pytest-benchmark, prints the figure's data table and
+the paper-vs-measured headline block to the terminal (bypassing
+capture), and writes the same rendering to ``benchmarks/results/``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench.report import render_figure
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a figure result to the live terminal and persist it."""
+
+    def _emit(result):
+        text = render_figure(result)
+        with capsys.disabled():
+            print()
+            print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.figure}.txt").write_text(text + "\n")
+        return result
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

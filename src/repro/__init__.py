@@ -1,0 +1,22 @@
+"""Reproduction of DLFS — Efficient User-Level Storage Disaggregation
+for Deep Learning (IEEE CLUSTER 2019).
+
+Subpackages:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel;
+* :mod:`repro.hw` — hardware models and the cost-model constants;
+* :mod:`repro.cluster` — nodes, fabric topology, collectives;
+* :mod:`repro.data` — datasets, size distributions, layouts, formats;
+* :mod:`repro.spdk` — user-level NVMe driver, qpairs, NVMe-oF targets;
+* :mod:`repro.kernelfs` — the Ext4/kernel-stack baseline;
+* :mod:`repro.octopus` — the Octopus distributed-FS baseline;
+* :mod:`repro.core` — DLFS itself (directory, cache, reactor, API);
+* :mod:`repro.train` — SGD/MLP training stack + TF ingest adapters;
+* :mod:`repro.bench` — figure experiments and reporting.
+
+``python -m repro claims`` checks every headline claim of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

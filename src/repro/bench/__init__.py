@@ -1,0 +1,35 @@
+"""Benchmark harness: workload drivers, per-figure experiments, reporting."""
+
+from .figures import (
+    FigureResult,
+    fig01_size_distribution,
+    fig06_single_node_throughput,
+    fig07a_core_scaling,
+    fig07b_compute_overlap,
+    fig08_throughput_16_nodes,
+    fig09_scalability,
+    fig10_lookup_time,
+    fig11_disaggregation,
+    fig12_tensorflow,
+    fig13_training_accuracy,
+)
+from .report import format_quantity, render_figure, render_headline
+from .workloads import Result
+
+__all__ = [
+    "FigureResult",
+    "Result",
+    "fig01_size_distribution",
+    "fig06_single_node_throughput",
+    "fig07a_core_scaling",
+    "fig07b_compute_overlap",
+    "fig08_throughput_16_nodes",
+    "fig09_scalability",
+    "fig10_lookup_time",
+    "fig11_disaggregation",
+    "fig12_tensorflow",
+    "fig13_training_accuracy",
+    "render_figure",
+    "render_headline",
+    "format_quantity",
+]

@@ -1,0 +1,579 @@
+"""Reusable experiment drivers for the figure benchmarks.
+
+Every driver builds a fresh deterministic simulation, runs a measured
+steady-state window (after warm-up), and returns plain numbers.  The
+figure modules (:mod:`repro.bench.figures`) compose these into the
+paper's tables and series.
+
+Scale note: the paper's runs push millions of samples; the drivers
+default to a few thousand per node, which is past the point where the
+simulated steady-state throughput stops changing (the simulator has no
+long-horizon drift), and keep wall-clock time per figure in seconds.
+Every driver takes explicit counts so a user can crank them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..core import DLFS, DLFSConfig
+from ..data import Dataset
+from ..errors import ConfigError
+from ..hw import BoundThread, Testbed
+from ..kernelfs import Ext4FileSystem
+from ..octopus import OctopusFS
+from ..sim import Environment
+from ..train import (
+    DLFSTFAdapter,
+    Ext4TFAdapter,
+    OctopusTFAdapter,
+    TFIngestSpec,
+)
+
+__all__ = [
+    "dlfs_single_node",
+    "ext4_single_node",
+    "dlfs_multi_node",
+    "ext4_multi_node",
+    "octopus_multi_node",
+    "dlfs_lookup_time",
+    "ext4_open_time",
+    "octopus_lookup_time",
+    "dlfs_disaggregated",
+    "tf_ingest_throughput",
+    "Result",
+]
+
+DEFAULT_SEED = 42
+
+
+@dataclass(frozen=True)
+class Result:
+    """One measured run."""
+
+    #: Samples per second (aggregate over all clients).
+    sample_throughput: float
+    #: Payload bytes per second (aggregate).
+    bandwidth: float
+    #: Mean utilization of the busiest client core (1.0 = pegged).
+    cpu_utilization: float = 0.0
+    #: Simulated seconds of the measured window.
+    sim_time: float = 0.0
+
+
+
+def _bread_rolling(client, batch: int, state: dict):
+    """bread() with automatic epoch rollover (as a training loop has).
+
+    Chunk-mode epochs are partitioned by *chunk*, so per-rank sample
+    counts vary slightly; long measured windows simply roll into the
+    next epoch with a fresh seed.
+    """
+    if client.epoch_remaining == 0:
+        state["epoch"] = state.get("epoch", 0) + 1
+        client.sequence(seed=DEFAULT_SEED + state["epoch"])
+    count = min(batch, client.epoch_remaining)
+    samples = yield from client.bread(count)
+    return samples
+
+
+def _dataset(num_samples: int, sample_bytes: int) -> Dataset:
+    return Dataset.fixed("bench", num_samples, sample_bytes, seed=DEFAULT_SEED)
+
+
+# ---------------------------------------------------------------------------
+# Single-node drivers (Fig 6, Fig 7)
+# ---------------------------------------------------------------------------
+
+def dlfs_single_node(
+    sample_bytes: int,
+    mode: str = "chunk",
+    batches: int = 40,
+    batch: int = 32,
+    warmup_batches: int = 4,
+    cores: int = 1,
+    injected_compute: float = 0.0,
+    queue_depth: int = 128,
+    window: int = 8,
+    chunk_bytes: int = 256 * 1024,
+    copy_cores: tuple = (),
+    testbed: Optional[Testbed] = None,
+) -> Result:
+    """Random-sample read throughput on one node with the real device.
+
+    ``cores > 1`` runs that many independent DLFS reactors (one per
+    core, own qpair each) splitting the workload — the paper's
+    one-thread-per-core scaling discipline (Fig 7a).
+    """
+    env = Environment()
+    cluster = Cluster(
+        env, testbed or Testbed.paper(), num_nodes=1, devices_per_node=1,
+        hugepage_chunk_size=chunk_bytes,
+    )
+    total = cores * (batches + warmup_batches) * batch
+    ds = _dataset(max(2 * total, 2000), sample_bytes)
+    config = DLFSConfig(
+        batching=mode, queue_depth=queue_depth, window=window,
+        injected_compute=injected_compute, copy_cores=copy_cores,
+    )
+    fs = DLFS.mount(cluster, ds, config)
+    clients = [
+        fs.client(rank=r, num_ranks=cores, node=cluster.node(0), core_index=r)
+        for r in range(cores)
+    ]
+    for c in clients:
+        c.sequence(seed=DEFAULT_SEED)
+
+    def app(env, client):
+        state = {}
+        for _ in range(warmup_batches):
+            yield from _bread_rolling(client, batch, state)
+        client.reactor.read_meter.start()
+        for _ in range(batches):
+            yield from _bread_rolling(client, batch, state)
+
+    procs = [env.process(app(env, c), name=f"app{c.rank}") for c in clients]
+    env.run(until=env.all_of(procs))
+    throughput = sum(c.sample_throughput() for c in clients)
+    bandwidth = sum(c.bandwidth() for c in clients)
+    busiest = max(
+        cluster.node(0).cpu.core(r).utilization() for r in range(cores)
+    )
+    return Result(throughput, bandwidth, busiest, env.now)
+
+
+def ext4_single_node(
+    sample_bytes: int,
+    threads: int = 1,
+    reads_per_thread: int = 250,
+    warmup_per_thread: int = 20,
+    warm_metadata: bool = True,
+    testbed: Optional[Testbed] = None,
+) -> Result:
+    """Ext4 random-sample throughput: Ext4-Base (1 thread) / Ext4-MC."""
+    env = Environment()
+    tb = testbed or Testbed.paper()
+    cluster = Cluster(env, tb, num_nodes=1, devices_per_node=1)
+    node = cluster.node(0)
+    total = threads * (reads_per_thread + warmup_per_thread)
+    ds = _dataset(total + 64, sample_bytes)
+    fs = Ext4FileSystem(env, node.device)
+    fs.ingest_dataset(ds)
+    if warm_metadata:
+        fs.warm_metadata()
+    order = np.random.default_rng(DEFAULT_SEED).permutation(ds.num_samples)
+    measured_reads = 0
+    t_start = [None]
+
+    def worker(env, tid):
+        nonlocal measured_reads
+        thread = BoundThread(node.cpu.core(tid % len(node.cpu)), f"t{tid}")
+        contention = tb.os.smp_contention_per_thread * (threads - 1)
+        base = tid * (reads_per_thread + warmup_per_thread)
+        for k in range(reads_per_thread + warmup_per_thread):
+            if k == warmup_per_thread and t_start[0] is None:
+                t_start[0] = env.now
+            idx = int(order[base + k])
+            yield from thread.run(contention)
+            yield from fs.read_sample(thread, ds.sample_name(idx))
+            if k >= warmup_per_thread:
+                measured_reads += 1
+
+    procs = [env.process(worker(env, t)) for t in range(threads)]
+    env.run(until=env.all_of(procs))
+    elapsed = env.now - (t_start[0] or 0.0)
+    throughput = measured_reads / elapsed
+    util = max(core.utilization() for core in node.cpu.cores)
+    return Result(throughput, throughput * sample_bytes, util, elapsed)
+
+
+# ---------------------------------------------------------------------------
+# Multi-node drivers (Fig 8, Fig 9)
+# ---------------------------------------------------------------------------
+
+def dlfs_multi_node(
+    num_nodes: int,
+    sample_bytes: int,
+    batches_per_node: int = 25,
+    batch: int = 32,
+    warmup_batches: int = 3,
+    mode: str = "chunk",
+) -> Result:
+    """Aggregated DLFS throughput: one client per node, one emulated
+    NVMe device per node, samples spread over all devices."""
+    env = Environment()
+    cluster = Cluster(
+        env, Testbed.paper_emulated(), num_nodes=num_nodes, devices_per_node=1
+    )
+    per_node = (batches_per_node + warmup_batches) * batch
+    ds = _dataset(max(2 * num_nodes * per_node, 4000), sample_bytes)
+    fs = DLFS.mount(cluster, ds, DLFSConfig(batching=mode))
+    clients = [
+        fs.client(rank=r, num_ranks=num_nodes, node=cluster.node(r))
+        for r in range(num_nodes)
+    ]
+    for c in clients:
+        c.sequence(seed=DEFAULT_SEED)
+
+    def app(env, client):
+        state = {}
+        for _ in range(warmup_batches):
+            yield from _bread_rolling(client, batch, state)
+        client.reactor.read_meter.start()
+        for _ in range(batches_per_node):
+            yield from _bread_rolling(client, batch, state)
+
+    procs = [env.process(app(env, c)) for c in clients]
+    env.run(until=env.all_of(procs))
+    throughput = sum(c.sample_throughput() for c in clients)
+    bandwidth = sum(c.bandwidth() for c in clients)
+    util = max(n.cpu.core(0).utilization() for n in cluster)
+    return Result(throughput, bandwidth, util, env.now)
+
+
+def ext4_multi_node(
+    num_nodes: int,
+    sample_bytes: int,
+    reads_per_node: int = 300,
+    warmup_per_node: int = 20,
+) -> Result:
+    """Ext4 reads its node-local data (the paper's Ext4 configuration:
+    datasets replicated/partitioned onto local burst buffers)."""
+    env = Environment()
+    cluster = Cluster(
+        env, Testbed.paper_emulated(), num_nodes=num_nodes, devices_per_node=1
+    )
+    per_node = reads_per_node + warmup_per_node
+    measured = 0
+    t_start = [None]
+    filesystems = []
+    for node in cluster:
+        ds = Dataset.fixed(
+            f"bench{node.index}", per_node + 32, sample_bytes,
+            seed=DEFAULT_SEED + node.index,
+        )
+        fs = Ext4FileSystem(env, node.device)
+        fs.ingest_dataset(ds)
+        fs.warm_metadata()
+        filesystems.append((node, fs, ds))
+
+    def worker(env, node, fs, ds):
+        nonlocal measured
+        thread = BoundThread(node.cpu.core(0), f"{node.name}.t0")
+        order = np.random.default_rng(DEFAULT_SEED + node.index).permutation(
+            ds.num_samples
+        )
+        for k in range(per_node):
+            if k == warmup_per_node and t_start[0] is None:
+                t_start[0] = env.now
+            yield from fs.read_sample(thread, ds.sample_name(int(order[k])))
+            if k >= warmup_per_node:
+                measured += 1
+
+    procs = [env.process(worker(env, *f)) for f in filesystems]
+    env.run(until=env.all_of(procs))
+    elapsed = env.now - (t_start[0] or 0.0)
+    throughput = measured / elapsed
+    return Result(throughput, throughput * sample_bytes, 0.0, elapsed)
+
+
+def octopus_multi_node(
+    num_nodes: int,
+    sample_bytes: int,
+    reads_per_node: int = 250,
+    warmup_per_node: int = 15,
+) -> Result:
+    """Octopus aggregated throughput: one client per node, distributed
+    metadata + RDMA data reads."""
+    env = Environment()
+    cluster = Cluster(
+        env, Testbed.paper_emulated(), num_nodes=num_nodes, devices_per_node=1
+    )
+    per_node = reads_per_node + warmup_per_node
+    ds = _dataset(max(2 * num_nodes * per_node, 2000), sample_bytes)
+    fs = OctopusFS(cluster)
+    fs.mount(ds)
+    order = np.random.default_rng(DEFAULT_SEED).permutation(ds.num_samples)
+    measured = 0
+    t_start = [None]
+
+    def worker(env, rank):
+        nonlocal measured
+        base = rank * per_node
+        for k in range(per_node):
+            if k == warmup_per_node and t_start[0] is None:
+                t_start[0] = env.now
+            yield from fs.read_sample(rank, int(order[base + k]))
+            if k >= warmup_per_node:
+                measured += 1
+
+    procs = [env.process(worker(env, r)) for r in range(num_nodes)]
+    env.run(until=env.all_of(procs))
+    elapsed = env.now - (t_start[0] or 0.0)
+    throughput = measured / elapsed
+    return Result(throughput, throughput * sample_bytes, 0.0, elapsed)
+
+
+# ---------------------------------------------------------------------------
+# Lookup-time drivers (Fig 10)
+# ---------------------------------------------------------------------------
+
+def dlfs_lookup_time(
+    num_nodes: int,
+    total_samples: int = 1_000_000,
+    sample_bytes: int = 512,
+    measured_lookups_per_node: int = 1500,
+) -> float:
+    """Total time for the cluster to look up ``total_samples`` samples.
+
+    Each node resolves its share (total/num_nodes) through its directory
+    replica.  A sampled subset runs in the simulator; the per-lookup
+    mean is scaled to the full share (lookup cost has no queue effects —
+    it is pure local CPU — so the extrapolation is exact).
+    """
+    env = Environment()
+    cluster = Cluster(
+        env, Testbed.paper_emulated(), num_nodes=num_nodes, devices_per_node=1
+    )
+    # Directory scale matters (tree height); data volume does not.
+    ds = _dataset(total_samples, sample_bytes)
+    fs = DLFS.mount(cluster, ds, DLFSConfig(batching="none"))
+    client = fs.client(rank=0, num_ranks=1, node=cluster.node(0))
+    share = total_samples // num_nodes
+    count = min(measured_lookups_per_node, share)
+    rng = np.random.default_rng(DEFAULT_SEED)
+    targets = rng.integers(0, total_samples, count)
+
+    def app(env):
+        from repro.core import LookupJob
+
+        t0 = env.now
+        for idx in targets:
+            job = LookupJob(done=env.event(), index=int(idx))
+            client.reactor.submit(job)
+            yield job.done
+        return (env.now - t0) / count
+
+    per_lookup = env.run(until=env.process(app(env)))
+    return per_lookup * share
+
+
+def ext4_open_time(
+    num_nodes: int,
+    total_samples: int = 1_000_000,
+    sample_bytes: int = 512,
+    measured_opens_per_node: int = 400,
+) -> float:
+    """Ext4 equivalent: cold file-open time for each node's share."""
+    env = Environment()
+    cluster = Cluster(
+        env, Testbed.paper_emulated(), num_nodes=1, devices_per_node=1
+    )
+    node = cluster.node(0)
+    share = total_samples // num_nodes
+    count = min(measured_opens_per_node, share)
+    ds = _dataset(count + 16, sample_bytes)
+    fs = Ext4FileSystem(env, node.device)
+    fs.ingest_dataset(ds)  # cold caches: every open pays the full walk
+    thread = BoundThread(node.cpu.core(0), "opens")
+
+    def app(env):
+        t0 = env.now
+        for i in range(count):
+            fd = yield from fs.open(thread, ds.sample_name(i))
+            yield from fs.close(thread, fd)
+        return (env.now - t0) / count
+
+    per_open = env.run(until=env.process(app(env)))
+    return per_open * share
+
+
+def octopus_lookup_time(
+    num_nodes: int,
+    total_samples: int = 1_000_000,
+    sample_bytes: int = 512,
+    measured_lookups_per_node: int = 400,
+) -> float:
+    """Octopus lookup time: concurrent clients, distributed metadata.
+
+    All nodes look up concurrently (contention on the serialized
+    metadata services is part of the measurement); returns the time for
+    the slowest node's share.
+    """
+    env = Environment()
+    cluster = Cluster(
+        env, Testbed.paper_emulated(), num_nodes=num_nodes, devices_per_node=1
+    )
+    share = total_samples // num_nodes
+    count = min(measured_lookups_per_node, share)
+    ds = _dataset(max(num_nodes * count, 1000), sample_bytes)
+    fs = OctopusFS(cluster)
+    fs.mount(ds)
+    rng = np.random.default_rng(DEFAULT_SEED)
+    per_node_time = []
+
+    def worker(env, rank):
+        targets = rng.integers(0, ds.num_samples, count)
+        t0 = env.now
+        for idx in targets:
+            yield from fs.lookup(rank, int(idx))
+        per_node_time.append((env.now - t0) / count)
+
+    procs = [env.process(worker(env, r)) for r in range(num_nodes)]
+    env.run(until=env.all_of(procs))
+    return max(per_node_time) * share
+
+
+# ---------------------------------------------------------------------------
+# Disaggregation-effectiveness driver (Fig 11)
+# ---------------------------------------------------------------------------
+
+def dlfs_disaggregated(
+    num_devices: int,
+    num_clients: int,
+    sample_bytes: int = 128 * 1024,
+    batches_per_client: int = 25,
+    batch: int = 32,
+    warmup_batches: int = 3,
+    window: Optional[int] = None,
+) -> Result:
+    """Clients on compute nodes, devices on separate storage nodes.
+
+    The topology of Fig 11: ``num_clients`` compute nodes access
+    ``num_devices`` NVMe devices hosted on dedicated storage nodes over
+    NVMe-oF.
+    """
+    env = Environment()
+    cluster = Cluster(
+        env,
+        Testbed.paper_emulated(),
+        num_nodes=num_clients + num_devices,
+        devices_per_node=0,
+    )
+    placement = []
+    for d in range(num_devices):
+        storage = cluster.node(num_clients + d)
+        storage.add_device()
+        placement.append((storage.index, 0))
+    per_client = (batches_per_client + warmup_batches) * batch
+    ds = _dataset(
+        max(2 * num_clients * per_client, num_devices * 512, 4000),
+        sample_bytes,
+    )
+    if window is None:
+        # A client fanning out over many devices needs a deeper chunk
+        # pipeline to keep every qpair busy (one window share each).
+        window = max(8, 8 * num_devices // max(num_clients, 1))
+    fs = DLFS.mount(
+        cluster, ds, DLFSConfig(batching="chunk", window=window),
+        placement=placement,
+    )
+    clients = [
+        fs.client(rank=r, num_ranks=num_clients, node=cluster.node(r))
+        for r in range(num_clients)
+    ]
+    for c in clients:
+        c.sequence(seed=DEFAULT_SEED)
+
+    def app(env, client):
+        state = {}
+        for _ in range(warmup_batches):
+            yield from _bread_rolling(client, batch, state)
+        client.reactor.read_meter.start()
+        for _ in range(batches_per_client):
+            yield from _bread_rolling(client, batch, state)
+
+    procs = [env.process(app(env, c)) for c in clients]
+    env.run(until=env.all_of(procs))
+    throughput = sum(c.sample_throughput() for c in clients)
+    bandwidth = sum(c.bandwidth() for c in clients)
+    return Result(throughput, bandwidth, 0.0, env.now)
+
+
+def ideal_disaggregated_throughput(
+    num_devices: int, num_clients: int, sample_bytes: int,
+    testbed: Optional[Testbed] = None,
+) -> float:
+    """The paper's analytic NVMe-1C / NVMe-16C curves (Fig 11).
+
+    Aggregate device bandwidth divided by sample size, capped by the
+    clients' total NIC bandwidth once devices outnumber what the client
+    links can absorb (the paper's rule: with one client, the network
+    bottlenecks past 2 devices).
+    """
+    tb = testbed or Testbed.paper_emulated()
+    device_bw = num_devices * tb.nvme.read_bandwidth
+    client_bw = num_clients * tb.network.bandwidth
+    return min(device_bw, client_bw) / sample_bytes
+
+
+# ---------------------------------------------------------------------------
+# TensorFlow ingest driver (Fig 12)
+# ---------------------------------------------------------------------------
+
+def tf_ingest_throughput(
+    system: str,
+    num_nodes: int,
+    sample_bytes: int,
+    batches_per_node: int = 20,
+    batch: int = 32,
+    warmup_batches: int = 3,
+    spec: Optional[TFIngestSpec] = None,
+) -> Result:
+    """Aggregate TF-adapter ingest throughput for one system."""
+    if system not in ("dlfs", "ext4", "octopus"):
+        raise ConfigError(f"unknown system {system!r}")
+    env = Environment()
+    cluster = Cluster(
+        env, Testbed.paper_emulated(), num_nodes=num_nodes, devices_per_node=1
+    )
+    per_node = (batches_per_node + warmup_batches) * batch
+    adapters = []
+    if system == "dlfs":
+        ds = _dataset(max(2 * num_nodes * per_node, 4000), sample_bytes)
+        fs = DLFS.mount(cluster, ds, DLFSConfig(batching="chunk"))
+        for r in range(num_nodes):
+            client = fs.client(rank=r, num_ranks=num_nodes, node=cluster.node(r))
+            # The TF input-pipeline thread lives on a second core; the
+            # reactor busy-polls core 0.
+            thread = BoundThread(cluster.node(r).cpu.core(1), f"tf{r}")
+            adapters.append(DLFSTFAdapter(client, thread, spec))
+    elif system == "ext4":
+        for node in cluster:
+            ds = Dataset.fixed(
+                f"bench{node.index}", per_node + 32, sample_bytes,
+                seed=DEFAULT_SEED + node.index,
+            )
+            fs = Ext4FileSystem(env, node.device)
+            fs.ingest_dataset(ds)
+            fs.warm_metadata()
+            thread = BoundThread(node.cpu.core(0), f"tf{node.index}")
+            adapters.append(Ext4TFAdapter(fs, ds, thread, spec=spec))
+    else:
+        ds = _dataset(max(2 * num_nodes * per_node, 2000), sample_bytes)
+        fs = OctopusFS(cluster)
+        fs.mount(ds)
+        for r in range(num_nodes):
+            thread = BoundThread(cluster.node(r).cpu.core(0), f"tf{r}")
+            adapters.append(
+                OctopusTFAdapter(fs, thread, rank=r, num_ranks=num_nodes,
+                                 spec=spec)
+            )
+
+    def app(env, adapter):
+        adapter.start_epoch(DEFAULT_SEED)
+        for _ in range(warmup_batches):
+            yield from adapter.next_batch(batch)
+        adapter.meter.start()
+        for _ in range(batches_per_node):
+            yield from adapter.next_batch(batch)
+
+    procs = [env.process(app(env, a)) for a in adapters]
+    env.run(until=env.all_of(procs))
+    throughput = sum(a.ingest_rate() for a in adapters)
+    bandwidth = sum(a.meter.bandwidth() for a in adapters)
+    return Result(throughput, bandwidth, 0.0, env.now)

@@ -1,0 +1,118 @@
+"""Command-line interface: regenerate paper figures without pytest.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure fig09 [--scale 0.5] [--out results/]
+    python -m repro all [--scale 1.0] [--out results/]
+    python -m repro claims [--scale 0.5]
+
+``figure``/``all`` print each figure's data table and headline block
+(the same rendering the benchmarks produce) and optionally write them
+to files.  ``claims`` prints only the paper-vs-measured headlines —
+the quickest way to check the reproduction end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable
+
+from .bench import figures as F
+from .bench.report import render_figure, render_headline
+
+__all__ = ["main", "FIGURES"]
+
+#: name -> (callable, description)
+FIGURES: dict[str, tuple[Callable, str]] = {
+    "fig01": (F.fig01_size_distribution, "sample-size distributions"),
+    "fig06": (F.fig06_single_node_throughput, "single-node throughput"),
+    "fig07a": (F.fig07a_core_scaling, "CPU core scaling"),
+    "fig07b": (F.fig07b_compute_overlap, "compute/I-O overlap"),
+    "fig08": (F.fig08_throughput_16_nodes, "16-node throughput"),
+    "fig09": (F.fig09_scalability, "scalability 2-16 nodes"),
+    "fig10": (F.fig10_lookup_time, "sample lookup time"),
+    "fig11": (F.fig11_disaggregation, "disaggregation effectiveness"),
+    "fig12": (F.fig12_tensorflow, "TensorFlow ingest"),
+    "fig13": (F.fig13_training_accuracy, "training accuracy"),
+}
+
+#: Figures whose drivers accept a ``scale`` parameter.
+_UNSCALED = {"fig01"}
+
+
+def _run_figure(name: str, scale: float):
+    fn, _ = FIGURES[name]
+    if name in _UNSCALED:
+        return fn()
+    return fn(scale=scale)
+
+
+def _emit(result, out_dir: pathlib.Path | None, headline_only: bool) -> None:
+    text = render_headline(result) if headline_only else render_figure(result)
+    print(f"\n== {result.figure}: {result.title} ==" if headline_only else "")
+    print(text)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{result.figure}.txt").write_text(
+            render_figure(result) + "\n"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the DLFS (CLUSTER 2019) evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available figures")
+
+    p_fig = sub.add_parser("figure", help="run one figure")
+    p_fig.add_argument("name", choices=sorted(FIGURES))
+    p_fig.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor (default 1.0)")
+    p_fig.add_argument("--out", type=pathlib.Path, default=None,
+                       help="directory to write the rendered table to")
+
+    p_all = sub.add_parser("all", help="run every figure")
+    p_all.add_argument("--scale", type=float, default=1.0)
+    p_all.add_argument("--out", type=pathlib.Path, default=None)
+
+    p_claims = sub.add_parser(
+        "claims", help="print only the paper-vs-measured headlines"
+    )
+    p_claims.add_argument("--scale", type=float, default=0.5)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, (_, desc) in sorted(FIGURES.items()):
+            print(f"{name:<8} {desc}")
+        return 0
+
+    if args.command == "figure":
+        t0 = time.time()
+        result = _run_figure(args.name, args.scale)
+        _emit(result, args.out, headline_only=False)
+        print(f"\n[{args.name} in {time.time() - t0:.1f}s]")
+        return 0
+
+    if args.command in ("all", "claims"):
+        headline_only = args.command == "claims"
+        out = getattr(args, "out", None)
+        for name in sorted(FIGURES):
+            t0 = time.time()
+            result = _run_figure(name, args.scale)
+            _emit(result, out, headline_only=headline_only)
+            print(f"[{name} in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return 0
+
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

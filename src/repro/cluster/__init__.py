@@ -1,0 +1,6 @@
+"""Cluster substrate: nodes, fabric topology, and MPI-style collectives."""
+
+from .collectives import Communicator
+from .node import Cluster, Node
+
+__all__ = ["Cluster", "Node", "Communicator"]

@@ -1,0 +1,130 @@
+"""Collective communication over the simulated fabric.
+
+DLFS builds its replicated sample directory with one allgather at mount
+time (§III-B2 of the paper).  These helpers implement the classic
+algorithms as *actual simulated transfers*, so collective cost scales
+with node count and payload exactly as on a real fabric:
+
+* ``barrier``     — dissemination barrier, ceil(log2 P) rounds.
+* ``broadcast``   — binomial tree.
+* ``allgather``   — ring algorithm, P-1 steps of one segment each.
+
+The API mirrors mpi4py's lowercase methods: values are arbitrary Python
+objects, and the caller supplies the on-wire size of each payload (the
+simulation does not serialize objects).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from ..errors import ConfigError
+from ..sim import Event
+from .node import Cluster
+
+__all__ = ["Communicator"]
+
+#: On-wire size of a zero-payload control message (header only).
+CONTROL_MSG_BYTES = 64
+
+
+class Communicator:
+    """A communicator over all nodes of a cluster (MPI_COMM_WORLD-style)."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.size = len(cluster)
+
+    # -- internals ----------------------------------------------------------
+    def _name(self, rank: int) -> str:
+        if not 0 <= rank < self.size:
+            raise ConfigError(f"rank {rank} out of range (size {self.size})")
+        return self.cluster.node(rank).name
+
+    def _send(self, src: int, dst: int, nbytes: int) -> Generator[Event, Any, None]:
+        yield from self.cluster.fabric.transfer(
+            self._name(src), self._name(dst), max(nbytes, CONTROL_MSG_BYTES)
+        )
+
+    # -- collectives -----------------------------------------------------------
+    def barrier(self) -> Generator[Event, Any, None]:
+        """Dissemination barrier: ceil(log2 P) rounds of control messages."""
+        if self.size == 1:
+            return
+        round_dist = 1
+        while round_dist < self.size:
+            transfers = [
+                self.env.process(
+                    self._send(rank, (rank + round_dist) % self.size, 0),
+                    name=f"barrier.r{round_dist}.{rank}",
+                )
+                for rank in range(self.size)
+            ]
+            yield self.env.all_of(transfers)
+            round_dist *= 2
+
+    def broadcast(
+        self, root: int, value: Any, nbytes: int
+    ) -> Generator[Event, Any, list[Any]]:
+        """Binomial-tree broadcast; returns the value as seen by each rank."""
+        self._name(root)  # validate
+        if self.size == 1:
+            return [value]
+        # Ranks relative to root: rank 0 holds the data initially.
+        have = {0}
+        dist = 1
+        while dist < self.size:
+            transfers = []
+            senders = [r for r in sorted(have) if r + dist < self.size]
+            for rel in senders:
+                peer = rel + dist
+                if peer in have:
+                    continue
+                src = (root + rel) % self.size
+                dst = (root + peer) % self.size
+                transfers.append(
+                    self.env.process(
+                        self._send(src, dst, nbytes), name=f"bcast.{src}->{dst}"
+                    )
+                )
+                have.add(peer)
+            if transfers:
+                yield self.env.all_of(transfers)
+            dist *= 2
+        return [value] * self.size
+
+    def allgather(
+        self, values: Sequence[Any], nbytes_each: Sequence[int]
+    ) -> Generator[Event, Any, list[list[Any]]]:
+        """Ring allgather.
+
+        ``values[r]`` is rank r's contribution, ``nbytes_each[r]`` its
+        on-wire size.  Returns ``gathered`` where ``gathered[r]`` is the
+        full list (rank order) as assembled at rank r — identical
+        everywhere, but returned per-rank to mirror the MPI API.
+        """
+        if len(values) != self.size or len(nbytes_each) != self.size:
+            raise ConfigError(
+                f"allgather needs exactly {self.size} contributions, "
+                f"got {len(values)}"
+            )
+        if self.size == 1:
+            return [list(values)]
+        # Ring: in step s, rank r sends segment (r - s) mod P to rank r+1.
+        for step in range(self.size - 1):
+            transfers = []
+            for rank in range(self.size):
+                segment = (rank - step) % self.size
+                dst = (rank + 1) % self.size
+                transfers.append(
+                    self.env.process(
+                        self._send(rank, dst, nbytes_each[segment]),
+                        name=f"allgather.s{step}.{rank}",
+                    )
+                )
+            yield self.env.all_of(transfers)
+        return [list(values) for _ in range(self.size)]
+
+    def __repr__(self) -> str:
+        return f"<Communicator size={self.size}>"

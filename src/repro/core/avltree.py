@@ -1,0 +1,296 @@
+"""Balanced AVL tree for the in-memory sample directory (paper Fig 3a).
+
+A classic AVL tree implemented from scratch: integer keys (the 48-bit
+sample-name hashes), arbitrary payloads, strict height balancing with
+single/double rotations.  Hash collisions are handled by chaining
+payloads under one key node.
+
+Two operations matter for the reproduction:
+
+* :meth:`search` returns the payloads **and the number of nodes
+  visited**, which is what the simulated lookup cost is charged from
+  (``visits * CPUSpec.tree_node_visit``);
+* :meth:`build_sorted` bulk-builds a perfectly balanced tree in O(n)
+  from sorted input — the mount path uses it so constructing million-
+  entry directories stays fast in wall-clock terms, while incremental
+  :meth:`insert`/:meth:`delete` keep full AVL semantics for the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+from ..errors import DirectoryError
+
+__all__ = ["AVLTree", "AVLNode"]
+
+
+class AVLNode:
+    __slots__ = ("key", "payloads", "left", "right", "height")
+
+    def __init__(self, key: int, payload: Any) -> None:
+        self.key = key
+        self.payloads: list[Any] = [payload]
+        self.left: Optional["AVLNode"] = None
+        self.right: Optional["AVLNode"] = None
+        self.height = 1
+
+    def __repr__(self) -> str:
+        return f"<AVLNode key={self.key} h={self.height}>"
+
+
+def _h(node: Optional[AVLNode]) -> int:
+    return node.height if node is not None else 0
+
+
+def _balance(node: AVLNode) -> int:
+    return _h(node.left) - _h(node.right)
+
+
+def _fix_height(node: AVLNode) -> None:
+    node.height = 1 + max(_h(node.left), _h(node.right))
+
+
+def _rotate_right(y: AVLNode) -> AVLNode:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _fix_height(y)
+    _fix_height(x)
+    return x
+
+
+def _rotate_left(x: AVLNode) -> AVLNode:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _fix_height(x)
+    _fix_height(y)
+    return y
+
+
+def _rebalance(node: AVLNode) -> AVLNode:
+    _fix_height(node)
+    balance = _balance(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree:
+    """An AVL tree with duplicate-key chaining."""
+
+    def __init__(self) -> None:
+        self._root: Optional[AVLNode] = None
+        self._size = 0  # payload count (>= node count)
+        self._nodes = 0
+
+    # -- introspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_nodes(self) -> int:
+        return self._nodes
+
+    @property
+    def height(self) -> int:
+        return _h(self._root)
+
+    # -- mutation -------------------------------------------------------------
+    def insert(self, key: int, payload: Any) -> None:
+        """Insert; equal keys chain onto the existing node."""
+        self._root = self._insert(self._root, key, payload)
+        self._size += 1
+
+    def _insert(self, node: Optional[AVLNode], key: int, payload: Any) -> AVLNode:
+        if node is None:
+            self._nodes += 1
+            return AVLNode(key, payload)
+        if key == node.key:
+            node.payloads.append(payload)
+            return node
+        if key < node.key:
+            node.left = self._insert(node.left, key, payload)
+        else:
+            node.right = self._insert(node.right, key, payload)
+        return _rebalance(node)
+
+    def delete(self, key: int) -> list[Any]:
+        """Remove a key (all chained payloads); returns them."""
+        removed: list[Any] = []
+        self._root = self._delete(self._root, key, removed)
+        if not removed:
+            raise DirectoryError(f"key {key} not in tree")
+        self._size -= len(removed)
+        self._nodes -= 1
+        return removed
+
+    def _delete(
+        self, node: Optional[AVLNode], key: int, removed: list[Any]
+    ) -> Optional[AVLNode]:
+        if node is None:
+            return None
+        if key < node.key:
+            node.left = self._delete(node.left, key, removed)
+        elif key > node.key:
+            node.right = self._delete(node.right, key, removed)
+        else:
+            removed.extend(node.payloads)
+            if node.left is None:
+                return node.right
+            if node.right is None:
+                return node.left
+            # Replace with in-order successor.
+            succ = node.right
+            while succ.left is not None:
+                succ = succ.left
+            node.key = succ.key
+            node.payloads = succ.payloads
+            # Structurally remove the successor (it has no left child).
+            node.right = self._delete_min(node.right)
+        return _rebalance(node)
+
+    def _delete_min(self, node: AVLNode) -> Optional[AVLNode]:
+        if node.left is None:
+            return node.right
+        node.left = self._delete_min(node.left)
+        return _rebalance(node)
+
+    # -- queries --------------------------------------------------------------
+    def search(self, key: int) -> tuple[list[Any], int]:
+        """-> (payloads-or-empty, nodes visited during the descent)."""
+        node = self._root
+        visits = 0
+        while node is not None:
+            visits += 1
+            if key == node.key:
+                return node.payloads, visits
+            node = node.left if key < node.key else node.right
+        return [], visits
+
+    def __contains__(self, key: int) -> bool:
+        return bool(self.search(key)[0])
+
+    def min_key(self) -> int:
+        if self._root is None:
+            raise DirectoryError("tree is empty")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> int:
+        if self._root is None:
+            raise DirectoryError("tree is empty")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """In-order (key, payload) pairs."""
+        stack: list[AVLNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            for payload in node.payloads:
+                yield node.key, payload
+            node = node.right
+
+    def keys(self) -> Iterator[int]:
+        seen_last: Optional[int] = None
+        for key, _ in self.items():
+            if key != seen_last:
+                seen_last = key
+                yield key
+
+    # -- bulk construction ---------------------------------------------------------
+    @classmethod
+    def build_sorted(
+        cls, keys: Sequence[int], payloads: Sequence[Any]
+    ) -> "AVLTree":
+        """O(n) build from keys sorted ascending (duplicates adjacent)."""
+        if len(keys) != len(payloads):
+            raise DirectoryError("keys and payloads must align")
+        tree = cls()
+        if not len(keys):
+            return tree
+        # Collapse duplicates into chained nodes first.
+        uniq_keys: list[int] = []
+        uniq_payloads: list[list[Any]] = []
+        prev: Optional[int] = None
+        for k, p in zip(keys, payloads):
+            if prev is not None and k < prev:
+                raise DirectoryError("build_sorted requires ascending keys")
+            if k == prev:
+                uniq_payloads[-1].append(p)
+            else:
+                uniq_keys.append(k)
+                uniq_payloads.append([p])
+                prev = k
+        tree._root = tree._build(uniq_keys, uniq_payloads, 0, len(uniq_keys))
+        tree._nodes = len(uniq_keys)
+        tree._size = len(keys)
+        return tree
+
+    def _build(
+        self,
+        keys: list[int],
+        payloads: list[list[Any]],
+        lo: int,
+        hi: int,
+    ) -> Optional[AVLNode]:
+        if lo >= hi:
+            return None
+        mid = (lo + hi) // 2
+        node = AVLNode(keys[mid], None)
+        node.payloads = payloads[mid]
+        node.left = self._build(keys, payloads, lo, mid)
+        node.right = self._build(keys, payloads, mid + 1, hi)
+        _fix_height(node)
+        return node
+
+    # -- invariant checking (used by tests) --------------------------------------
+    def check_invariants(self) -> None:
+        """Raises DirectoryError if AVL/BST invariants are violated."""
+
+        def walk(node: Optional[AVLNode]) -> tuple[int, int, int]:
+            """-> (height, min_key, max_key) of the subtree."""
+            lh = rh = 0
+            min_key = max_key = node.key
+            if node.left is not None:
+                lh, lmin, lmax = walk(node.left)
+                if lmax >= node.key:
+                    raise DirectoryError("BST order violated (left)")
+                min_key = lmin
+            if node.right is not None:
+                rh, rmin, rmax = walk(node.right)
+                if rmin <= node.key:
+                    raise DirectoryError("BST order violated (right)")
+                max_key = rmax
+            if abs(lh - rh) > 1:
+                raise DirectoryError(f"AVL balance violated at key {node.key}")
+            height = 1 + max(lh, rh)
+            if node.height != height:
+                raise DirectoryError(f"stale height at key {node.key}")
+            return height, min_key, max_key
+
+        if self._root is not None:
+            walk(self._root)
+
+    def __repr__(self) -> str:
+        return f"<AVLTree n={self._size} nodes={self._nodes} h={self.height}>"

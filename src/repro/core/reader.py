@@ -1,0 +1,452 @@
+"""The DLFS backend reactor: prep / post / poll / copy (paper §III-C, Fig 4).
+
+One reactor per DLFS client runs pinned to a core (SPDK busy-polling).
+Its inbox is the **shared completion queue (SCQ)**: every I/O qpair's
+completion sink points at it, and frontend read jobs arrive through it
+too, so a single poll loop balances progress across all NVMe targets —
+exactly the design of Fig 4(b).
+
+Flow per the paper's four stages:
+
+* **prep** — a job's samples are resolved through the in-memory sample
+  directory; misses become fetch intents on the per-device *request
+  posting queue* (RPQ), each allocated hugepage cache chunks (one data
+  chunk per sample by default; larger spans are disassembled into
+  chunk-size SPDK requests);
+* **post** — intents are posted to the device's I/O qpair up to its
+  queue depth;
+* **poll** — the reactor consumes SCQ completions (while holding its
+  core: busy-poll semantics);
+* **copy** — delivered samples are copied from the sample cache to the
+  application buffer, inline on the reactor core or by the copy-thread
+  pool, and the directory V bit is set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..hw.cpu import BoundThread, Core
+from ..hw.platform import CPUSpec, NetworkSpec
+from ..sim import Environment, Event, Store, Tally, ThroughputMeter
+from ..spdk import IOQPair, SPDKRequest, aligned_span
+from .batching import REQ_CHUNK, ChunkPlan
+from .cache import RESIDENT, SampleCache
+from .directory import LocalValidBits, SampleDirectory
+
+__all__ = ["Reactor", "ReadJob", "LookupJob", "CopyPool", "SHUTDOWN"]
+
+#: Inbox sentinel: stop the reactor.
+SHUTDOWN = object()
+#: Inbox sentinel: re-run the pump (memory freed by a copy worker).
+KICK = object()
+
+
+@dataclass(eq=False)
+class ReadJob:
+    """A frontend read request: deliver these samples, then fire ``done``."""
+
+    samples: np.ndarray
+    done: Event
+    #: Chunk-mode requirement per sample: (kind, id); None => per-sample
+    #: fetches through the directory (base / sample-level batching).
+    requirements: Optional[list[tuple[int, int]]] = None
+    #: Chunk-mode lookahead: requirement keys to prefetch with no waiter.
+    prefetch: tuple = ()
+    submit_time: float = 0.0
+    remaining: int = field(init=False)
+    #: Zero-copy mode: cache keys handed to the application, released
+    #: only when it moves on to the next batch.
+    retained: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.remaining = len(self.samples)
+        if self.requirements is not None and len(self.requirements) != len(self.samples):
+            raise ConfigError("requirements must align with samples")
+
+
+@dataclass(eq=False)
+class LookupJob:
+    """A metadata-only job (``dlfs_open``): resolve a name or index."""
+
+    done: Event
+    name: Optional[str] = None
+    index: Optional[int] = None
+
+
+class _PendingFetch:
+    """One in-flight span: its cache slot, parts, and waiting deliveries."""
+
+    __slots__ = ("key", "shard", "offset", "nbytes", "samples",
+                 "parts_remaining", "waiters", "posted")
+
+    def __init__(self, key, shard: int, offset: int, nbytes: int,
+                 samples: np.ndarray) -> None:
+        self.key = key
+        self.shard = shard
+        self.offset = offset          # aligned device offset
+        self.nbytes = nbytes          # aligned span size
+        self.samples = samples        # samples validated on completion
+        self.parts_remaining = 0
+        self.waiters: list[tuple[ReadJob, int]] = []
+        self.posted = False
+
+
+class CopyPool:
+    """Copy threads (paper Fig 4a): memcpy offload to extra cores."""
+
+    def __init__(self, env: Environment, cores: list[Core], kick: Callable[[], None]) -> None:
+        if not cores:
+            raise ConfigError("CopyPool needs at least one core")
+        self.env = env
+        self.tasks: Store = Store(env, name="copypool.tasks")
+        self._kick = kick
+        for core in cores:
+            env.process(self._worker(core), name=f"copy@{core.name}")
+
+    def submit(self, cost: float, callback: Callable[[], None]) -> None:
+        self.tasks.put((cost, callback))
+
+    def _worker(self, core: Core) -> Generator[Event, Any, None]:
+        while True:
+            task = yield self.tasks.get()
+            if task is SHUTDOWN:
+                return
+            cost, callback = task
+            yield from core.execute(cost)
+            callback()
+            self._kick()
+
+    def shutdown(self, workers: int) -> None:
+        for _ in range(workers):
+            self.tasks.put(SHUTDOWN)
+
+
+class Reactor:
+    """The per-client DLFS backend loop."""
+
+    def __init__(
+        self,
+        env: Environment,
+        thread: BoundThread,
+        qpairs: dict[int, IOQPair],
+        cache: SampleCache,
+        vbits: LocalValidBits,
+        directory: SampleDirectory,
+        plan: ChunkPlan,
+        cpu_spec: CPUSpec,
+        net_spec: NetworkSpec,
+        select_overhead: float = 0.15e-6,
+        completion_overhead: float = 0.20e-6,
+        injected_compute: float = 0.0,
+        copy_pool: Optional[CopyPool] = None,
+        inbox: Optional[Store] = None,
+        use_scq: bool = True,
+        zero_copy: bool = False,
+        name: str = "dlfs.reactor",
+    ) -> None:
+        self.env = env
+        self.thread = thread
+        self.qpairs = qpairs
+        self.cache = cache
+        self.vbits = vbits
+        self.directory = directory
+        self.plan = plan
+        self.cpu = cpu_spec
+        self.net = net_spec
+        self.select_overhead = select_overhead
+        self.completion_overhead = completion_overhead
+        self.injected_compute = injected_compute
+        self.copy_pool = copy_pool
+        #: §III-C2 ablation: with the shared completion queue (SCQ)
+        #: disabled, every completion pays a scan over all per-qpair
+        #: completion queues instead of one consolidated check.
+        self.use_scq = use_scq
+        #: Paper future work: hand out cache references instead of
+        #: copying into application buffers.
+        self.zero_copy = zero_copy
+        self.name = name
+
+        #: The SCQ: completions from every qpair plus frontend jobs.
+        self.inbox: Store = (
+            inbox if inbox is not None else Store(env, name=f"{name}.scq")
+        )
+        self._rpq: dict[int, deque[_PendingFetch]] = {
+            shard: deque() for shard in qpairs
+        }
+        self._postq: dict[int, deque[SPDKRequest]] = {
+            shard: deque() for shard in qpairs
+        }
+        self._pending: dict[object, _PendingFetch] = {}
+        self.read_meter = ThroughputMeter(env, name=f"{name}.delivered")
+        self.job_latency = Tally(f"{name}.job_latency")
+        self.lookup_time = Tally(f"{name}.lookup_time")
+        self.samples_delivered = 0
+        self._inline_copy_cost = 0.0
+        self._inline_done_list: list[Callable[[], None]] = []
+        self._stopped = env.event()
+        self._process = env.process(self._run(), name=name)
+
+    # -- frontend entry points (called from application processes) -------------
+    def submit(self, job) -> None:
+        self.inbox.put(job)
+
+    def stop(self) -> Event:
+        """Request shutdown; returns an event firing once the core is freed."""
+        self.inbox.put(SHUTDOWN)
+        return self._stopped
+
+    # -- main loop -----------------------------------------------------------------
+    def _run(self) -> Generator[Event, Any, None]:
+        yield from self.thread.acquire()  # busy-polling: core held for life
+        try:
+            while True:
+                msg = yield self.inbox.get()
+                stop = yield from self._dispatch(msg)
+                # Drain whatever else is already queued this instant.
+                while not stop and len(self.inbox):
+                    msg = yield self.inbox.get()
+                    stop = yield from self._dispatch(msg)
+                if stop:
+                    return
+                yield from self._pump()
+        finally:
+            self.thread.release()
+            self._stopped.succeed()
+
+    def _dispatch(self, msg) -> Generator[Event, Any, bool]:
+        if isinstance(msg, SPDKRequest):
+            yield from self._on_completion(msg)
+        elif isinstance(msg, ReadJob):
+            yield from self._on_job(msg)
+        elif isinstance(msg, LookupJob):
+            yield from self._on_lookup(msg)
+        elif msg is KICK:
+            pass
+        elif msg is SHUTDOWN:
+            return True
+        else:
+            raise ConfigError(f"unknown reactor message: {msg!r}")
+        return False
+
+    # -- job intake (prep stage) -----------------------------------------------------
+    def _on_lookup(self, job: LookupJob) -> Generator[Event, Any, None]:
+        t0 = self.env.now
+        try:
+            if job.index is not None:
+                result = self.directory.lookup_index(job.index)
+            elif job.name is not None:
+                result = self.directory.lookup_name(job.name)
+            else:
+                raise ConfigError("LookupJob needs a name or an index")
+        except Exception as exc:
+            # Failed lookups surface at the caller, not in the reactor.
+            yield from self.thread.run(self.cpu.hash_cost)
+            job.done.fail(exc)
+            return
+        yield from self.thread.run(
+            self.cpu.hash_cost + result.visits * self.cpu.tree_node_visit
+        )
+        self.lookup_time.observe(self.env.now - t0)
+        job.done.succeed(result)
+
+    def _on_job(self, job: ReadJob) -> Generator[Event, Any, None]:
+        job.submit_time = self.env.now
+        if len(job.samples) == 0:
+            job.done.succeed(job)
+            return
+        if job.requirements is None:
+            yield from self._intake_samples(job)
+        else:
+            yield from self._intake_requirements(job)
+        # Cache hits at intake queued copies; charge them now.
+        yield from self._flush_inline_copies()
+        if self.injected_compute > 0.0:
+            # Fig 7(b): application compute folded into the polling loop,
+            # once per batch of samples, on the reactor's core.  Devices
+            # and the fabric keep making progress; only completion
+            # *processing* waits.
+            yield from self._pump()
+            yield from self.thread.run(self.injected_compute)
+
+    def _intake_samples(self, job: ReadJob) -> Generator[Event, Any, None]:
+        """Base / sample-level batching: per-sample directory lookups."""
+        cost = 0.0
+        for s in job.samples:
+            s = int(s)
+            result = self.directory.lookup_index(s)
+            cost += (
+                self.cpu.hash_cost
+                + result.visits * self.cpu.tree_node_visit
+                + self.cpu.request_setup
+            )
+            key = ("s", s)
+            if self.vbits.is_valid(s) and self.cache.lookup(key) is not None:
+                self._start_delivery(job, key, result.length)
+                continue
+            fetch = self._pending.get(key)
+            if fetch is None:
+                offset, nbytes = aligned_span(result.offset, result.length)
+                fetch = _PendingFetch(
+                    key, result.shard, offset, nbytes,
+                    samples=np.array([s], dtype=np.int64),
+                )
+                self._pending[key] = fetch
+                self._rpq[result.shard].append(fetch)
+            fetch.waiters.append((job, result.length))
+        yield from self.thread.run(cost)
+
+    def _intake_requirements(self, job: ReadJob) -> Generator[Event, Any, None]:
+        """Chunk-level batching: samples arrive via chunk / edge fetches."""
+        cost = self.cpu.request_setup  # one bread dispatch
+        sizes = self.directory.dataset.sizes
+        for s, (kind, rid) in zip(job.samples, job.requirements):
+            s = int(s)
+            key = ("c", rid) if kind == REQ_CHUNK else ("e", rid)
+            slot = self.cache.slot(key)
+            if slot is not None and slot.state == RESIDENT:
+                self.cache.hits += 1
+                self._start_delivery(job, key, int(sizes[s]))
+                continue
+            self.cache.misses += 1
+            fetch = self._ensure_fetch(key, kind, rid)
+            fetch.waiters.append((job, int(sizes[s])))
+        for kind, rid in job.prefetch:
+            key = ("c", rid) if kind == REQ_CHUNK else ("e", rid)
+            slot = self.cache.slot(key)
+            if slot is None and key not in self._pending:
+                self._ensure_fetch(key, kind, rid)
+        yield from self.thread.run(cost)
+
+    def _ensure_fetch(self, key, kind: int, rid: int) -> _PendingFetch:
+        fetch = self._pending.get(key)
+        if fetch is not None:
+            return fetch
+        if kind == REQ_CHUNK:
+            shard, offset, nbytes = self.plan.chunk_span(rid)
+            offset, nbytes = aligned_span(offset, nbytes)
+            samples = self.plan.chunk_members[rid]
+        else:
+            loc = self.directory.layout.location(rid)
+            shard = loc.shard
+            offset, nbytes = aligned_span(loc.offset, loc.length)
+            samples = np.array([rid], dtype=np.int64)
+        fetch = _PendingFetch(key, shard, offset, nbytes, samples)
+        self._pending[key] = fetch
+        self._rpq[shard].append(fetch)
+        return fetch
+
+    # -- post stage -------------------------------------------------------------------
+    def _pump(self) -> Generator[Event, Any, None]:
+        cost = 0.0
+        for shard, qp in self.qpairs.items():
+            postq = self._postq[shard]
+            rpq = self._rpq[shard]
+            while qp.free_slots > 0:
+                if not postq:
+                    if not rpq:
+                        break
+                    fetch = rpq[0]
+                    slot = self.cache.try_insert(fetch.key, fetch.nbytes)
+                    if slot is None:
+                        break  # memory pressure; retried on next message
+                    rpq.popleft()
+                    chunk_size = self.cache.pool.chunk_size
+                    offset = fetch.offset
+                    remaining = fetch.nbytes
+                    ci = 0
+                    while remaining > 0:
+                        part = min(chunk_size, remaining)
+                        postq.append(
+                            SPDKRequest(
+                                offset=offset,
+                                nbytes=part,
+                                chunks=[slot.chunks[ci]],
+                                tag=fetch,
+                            )
+                        )
+                        fetch.parts_remaining += 1
+                        offset += part
+                        remaining -= part
+                        ci += 1
+                    cost += self.cpu.request_setup * fetch.parts_remaining
+                req = postq.popleft()
+                cost += self.net.rdma_post_overhead
+                qp.post(req)
+        if cost > 0.0:
+            yield from self.thread.run(cost)
+
+    # -- poll + copy stages -----------------------------------------------------------
+    def _on_completion(self, req: SPDKRequest) -> Generator[Event, Any, None]:
+        poll_cost = self.cpu.poll_iteration
+        if not self.use_scq:
+            # No SCQ: each completion round scans every qpair's CQ.
+            poll_cost *= max(len(self.qpairs), 1)
+        yield from self.thread.run(poll_cost + self.completion_overhead)
+        fetch: _PendingFetch = req.tag
+        fetch.parts_remaining -= 1
+        if fetch.parts_remaining > 0:
+            return
+        # All parts of the span have landed: mark resident, set V bits.
+        self.cache.mark_resident(fetch.key)
+        self.vbits.set_valid_many(fetch.samples)
+        del self._pending[fetch.key]
+        for job, nbytes in fetch.waiters:
+            self._start_delivery(job, fetch.key, nbytes)
+        fetch.waiters.clear()
+        # Copy work for this completion happens via _start_delivery; the
+        # inline path charges it on this core inside the loop below.
+        yield from self._flush_inline_copies()
+
+    def _start_delivery(self, job: ReadJob, key, nbytes: int) -> None:
+        """Hand one sample from the cache to the application: a copy to
+        its buffer, or (zero-copy mode) a retained cache reference."""
+        self.cache.acquire(key)
+        if self.zero_copy:
+            cost = self.select_overhead  # no memcpy: buffer is the cache
+        else:
+            cost = self.select_overhead + nbytes / self.cpu.memcpy_bandwidth
+
+        def finish() -> None:
+            if self.zero_copy:
+                job.retained.append(key)
+            else:
+                self.cache.release(key)
+            self.samples_delivered += 1
+            self.read_meter.record(nbytes=nbytes)
+            job.remaining -= 1
+            if job.remaining == 0:
+                self.job_latency.observe(self.env.now - job.submit_time)
+                job.done.succeed(job)
+
+        if self.copy_pool is not None:
+            self.copy_pool.submit(cost, finish)
+        else:
+            # Inline copies accumulate; charged in one run() per batch.
+            self._inline_copy_cost += cost
+            self._inline_done_list.append(finish)
+
+    def _flush_inline_copies(self) -> Generator[Event, Any, None]:
+        if self.copy_pool is not None:
+            return
+        pending = self._inline_done_list
+        if not pending:
+            return
+        cost = self._inline_copy_cost
+        self._inline_copy_cost = 0.0
+        self._inline_done_list = []
+        yield from self.thread.run(cost)
+        for finish in pending:
+            finish()
+
+    def _kick(self) -> None:
+        """Wake the loop after an off-reactor event freed resources."""
+        self.inbox.put(KICK)
+
+    def __repr__(self) -> str:
+        return f"<Reactor {self.name!r} pending={len(self._pending)}>"

@@ -1,0 +1,86 @@
+"""Seeded global sample sequences (paper §III-D1, ``dlfs_sequence``).
+
+Every training task calls ``dlfs_sequence(seed)`` with the *same* seed;
+each node then derives the identical global random order locally and
+reads only its own slice of every mini-batch — no inter-node agreement
+traffic (the paper's point: the seed replaces synchronization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["GlobalSequence"]
+
+
+class GlobalSequence:
+    """One epoch's global random sample order, sliced per rank and batch."""
+
+    def __init__(
+        self,
+        num_samples: int,
+        seed: int,
+        num_ranks: int = 1,
+        batch_per_rank: int = 32,
+    ) -> None:
+        if num_samples < 1:
+            raise ConfigError("num_samples must be >= 1")
+        if num_ranks < 1:
+            raise ConfigError("num_ranks must be >= 1")
+        if batch_per_rank < 1:
+            raise ConfigError("batch_per_rank must be >= 1")
+        self.num_samples = num_samples
+        self.seed = seed
+        self.num_ranks = num_ranks
+        self.batch_per_rank = batch_per_rank
+        self.global_batch = num_ranks * batch_per_rank
+        # The same seed on every node yields the same permutation.
+        self.order = np.random.default_rng(seed).permutation(num_samples)
+        self.order.setflags(write=False)
+
+    @property
+    def num_batches(self) -> int:
+        """Full global batches per epoch (a short tail batch is dropped,
+        the standard drop-remainder discipline of distributed SGD)."""
+        return self.num_samples // self.global_batch
+
+    def batch_slice(self, batch_index: int) -> np.ndarray:
+        """All sample indices of global mini-batch ``batch_index``."""
+        self._check_batch(batch_index)
+        start = batch_index * self.global_batch
+        return self.order[start:start + self.global_batch]
+
+    def rank_portion(self, batch_index: int, rank: int) -> np.ndarray:
+        """The slice of a mini-batch that ``rank`` reads (paper Fig 5a)."""
+        self._check_rank(rank)
+        batch = self.batch_slice(batch_index)
+        start = rank * self.batch_per_rank
+        return batch[start:start + self.batch_per_rank]
+
+    def epoch_order_for_rank(self, rank: int) -> np.ndarray:
+        """Concatenated per-batch portions for a whole epoch."""
+        self._check_rank(rank)
+        if self.num_batches == 0:
+            return np.empty(0, dtype=self.order.dtype)
+        # View the used prefix as (batches, ranks, batch_per_rank).
+        used = self.order[: self.num_batches * self.global_batch]
+        cube = used.reshape(self.num_batches, self.num_ranks, self.batch_per_rank)
+        return cube[:, rank, :].reshape(-1)
+
+    def _check_batch(self, batch_index: int) -> None:
+        if not 0 <= batch_index < self.num_batches:
+            raise ConfigError(
+                f"batch {batch_index} out of range ({self.num_batches} batches)"
+            )
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ConfigError(f"rank {rank} out of range ({self.num_ranks})")
+
+    def __repr__(self) -> str:
+        return (
+            f"<GlobalSequence n={self.num_samples} seed={self.seed} "
+            f"ranks={self.num_ranks} batch={self.batch_per_rank}>"
+        )

@@ -1,0 +1,39 @@
+"""Dataset substrate: size distributions, synthetic datasets, physical
+layout, batched formats, and the backend parallel file system."""
+
+from .batched_layout import BatchedFileLayout
+from .dataset import CompositeDataset, Dataset, DatasetLayout, SampleLocation
+from .distributions import (
+    FixedSize,
+    LogNormalSizes,
+    SizeDistribution,
+    imagenet_like,
+    imdb_like,
+)
+from .formats import (
+    BatchedFile,
+    CIFARBatchFormat,
+    TFRecordFormat,
+    shuffle_buffer_order,
+    shuffle_quality,
+)
+from .pfs import ParallelFS
+
+__all__ = [
+    "Dataset",
+    "CompositeDataset",
+    "DatasetLayout",
+    "BatchedFileLayout",
+    "SampleLocation",
+    "SizeDistribution",
+    "FixedSize",
+    "LogNormalSizes",
+    "imagenet_like",
+    "imdb_like",
+    "BatchedFile",
+    "TFRecordFormat",
+    "CIFARBatchFormat",
+    "shuffle_quality",
+    "shuffle_buffer_order",
+    "ParallelFS",
+]

@@ -1,0 +1,108 @@
+"""Physical layout for datasets stored as batched files (paper §III-B1).
+
+When a dataset arrives preprocessed into TFRecord/CIFAR-style batched
+files, DLFS still indexes *individual samples*: the directory points at
+each sample's payload inside its enclosing file ("we are able to have
+direct access to any samples in a TFRecord file"), and the batched file
+itself also gets an entry for file-oriented access.
+
+:class:`BatchedFileLayout` exposes the same interface as
+:class:`~repro.data.dataset.DatasetLayout` — every downstream consumer
+(sample directory, chunk plan, readers) works unchanged — but sample
+offsets are derived from the files' on-disk framing rather than from
+back-to-back packing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .dataset import Dataset, DatasetLayout
+from .formats import BatchedFile
+
+__all__ = ["BatchedFileLayout"]
+
+
+class BatchedFileLayout(DatasetLayout):
+    """Samples placed inside batched files, files packed across shards."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        files: list[BatchedFile],
+        num_shards: int,
+        base_offset: int = 0,
+    ) -> None:
+        # Deliberately NOT calling DatasetLayout.__init__: this class
+        # computes the same attribute set from the file framing.
+        if num_shards < 1:
+            raise ConfigError("num_shards must be >= 1")
+        if num_shards > len(files):
+            raise ConfigError(
+                f"cannot place {len(files)} batched files on {num_shards} shards"
+            )
+        if base_offset < 0 or base_offset % 512:
+            raise ConfigError("base_offset must be non-negative, 512-aligned")
+        covered = np.concatenate([f.sample_indices for f in files]) if files else []
+        if sorted(np.asarray(covered).tolist()) != list(range(dataset.num_samples)):
+            raise ConfigError(
+                "batched files must cover every dataset sample exactly once"
+            )
+        self.dataset = dataset
+        self.files = files
+        self.num_shards = num_shards
+        self.base_offset = base_offset
+        self.interleaved = False
+
+        n = dataset.num_samples
+        shard_ids = np.empty(n, dtype=np.int32)
+        offsets = np.empty(n, dtype=np.int64)
+        # Files round-robin across shards; within a shard, packed
+        # back-to-back from base_offset (framing included).
+        self.file_shard = np.arange(len(files), dtype=np.int32) % num_shards
+        self.file_base = np.zeros(len(files), dtype=np.int64)
+        shard_cursor = np.full(num_shards, base_offset, dtype=np.int64)
+        for i, f in enumerate(files):
+            shard = int(self.file_shard[i])
+            self.file_base[i] = shard_cursor[shard]
+            shard_cursor[shard] += f.file_bytes
+            shard_ids[f.sample_indices] = shard
+            offsets[f.sample_indices] = self.file_base[i] + f.payload_offsets
+        self.shard_ids = shard_ids
+        self.offsets = offsets
+        self.shard_ids.setflags(write=False)
+        self.offsets.setflags(write=False)
+
+        self._shard_samples = [
+            np.flatnonzero(shard_ids == s) for s in range(num_shards)
+        ]
+        # Shard extent covers the framed files, not just payloads.
+        self._shard_bytes = shard_cursor - base_offset
+        self._shard_bytes.setflags(write=False)
+
+    # -- file-oriented access ----------------------------------------------------
+    def file_extent(self, file_index: int) -> tuple[int, int, int]:
+        """-> (shard, device offset, nbytes) of one whole batched file."""
+        if not 0 <= file_index < len(self.files):
+            raise ConfigError(f"file index {file_index} out of range")
+        return (
+            int(self.file_shard[file_index]),
+            int(self.file_base[file_index]),
+            self.files[file_index].file_bytes,
+        )
+
+    def file_of_sample(self, sample_index: int) -> int:
+        """Which batched file holds ``sample_index``."""
+        if not 0 <= sample_index < self.dataset.num_samples:
+            raise ConfigError(f"sample index {sample_index} out of range")
+        for i, f in enumerate(self.files):
+            if (f.sample_indices == sample_index).any():
+                return i
+        raise ConfigError(f"sample {sample_index} not in any file")  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchedFileLayout {self.dataset.name!r} files={len(self.files)} "
+            f"shards={self.num_shards}>"
+        )

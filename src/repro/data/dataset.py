@@ -1,0 +1,274 @@
+"""Synthetic training datasets and their placement on NVMe devices.
+
+A :class:`Dataset` is the logical view: N samples with sizes drawn from
+a :class:`~repro.data.distributions.SizeDistribution` and integer class
+labels.  Sample *content* never exists — the simulation moves byte
+counts, not bytes — except in the training-accuracy experiment, where
+features are derived deterministically from sample indices
+(:mod:`repro.train`).
+
+A :class:`DatasetLayout` is the physical view after ``dlfs_mount``:
+samples are partitioned into per-device shards and packed contiguously,
+which is what makes the paper's chunk-level batching possible (fixed
+256 KB data chunks with *edge samples* crossing chunk boundaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .distributions import FixedSize, SizeDistribution
+
+__all__ = ["Dataset", "DatasetLayout", "SampleLocation"]
+
+
+class Dataset:
+    """An immutable synthetic dataset (sizes + labels, no content)."""
+
+    def __init__(
+        self,
+        name: str,
+        sizes: np.ndarray,
+        num_classes: int = 10,
+        seed: int = 0,
+    ) -> None:
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.ndim != 1 or len(sizes) == 0:
+            raise ConfigError("dataset needs a non-empty 1-D size array")
+        if (sizes < 1).any():
+            raise ConfigError("all sample sizes must be >= 1 byte")
+        if num_classes < 1:
+            raise ConfigError("num_classes must be >= 1")
+        self.name = name
+        self.sizes = sizes
+        self.sizes.setflags(write=False)
+        self.num_classes = num_classes
+        self.seed = seed
+        rng = np.random.default_rng(seed ^ 0x5EED)
+        self.labels = rng.integers(0, num_classes, size=len(sizes), dtype=np.int32)
+        self.labels.setflags(write=False)
+
+    @classmethod
+    def synthetic(
+        cls,
+        name: str,
+        num_samples: int,
+        distribution: SizeDistribution,
+        num_classes: int = 10,
+        seed: int = 0,
+    ) -> "Dataset":
+        """Draw ``num_samples`` sizes from ``distribution`` (deterministic)."""
+        if num_samples < 1:
+            raise ConfigError("num_samples must be >= 1")
+        rng = np.random.default_rng(seed)
+        return cls(name, distribution.sample(rng, num_samples), num_classes, seed)
+
+    @classmethod
+    def fixed(
+        cls, name: str, num_samples: int, sample_bytes: int, **kwargs
+    ) -> "Dataset":
+        """The paper's micro-benchmark dataset: uniform sample size."""
+        return cls.synthetic(name, num_samples, FixedSize(sample_bytes), **kwargs)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.sizes)
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.sizes.sum())
+
+    @property
+    def mean_sample_bytes(self) -> float:
+        return float(self.sizes.mean())
+
+    def sample_name(self, index: int) -> str:
+        """Canonical path-like name of one sample."""
+        if not 0 <= index < len(self.sizes):
+            raise ConfigError(f"sample index {index} out of range")
+        return f"{self.name}/{index:08d}"
+
+    def hash_all_names(self):
+        """(keys, checks) for every sample name, vectorized.
+
+        The sample directory builds its entries from this; subclasses
+        with non-canonical naming override it consistently with
+        :meth:`sample_name`.
+        """
+        from ..core.entry import hash_sample_names
+
+        return hash_sample_names(self.name, np.arange(self.num_samples))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Dataset {self.name!r} n={self.num_samples} "
+            f"total={self.total_bytes / 2**20:.1f} MiB>"
+        )
+
+
+class CompositeDataset(Dataset):
+    """Several datasets mounted as one (``dlfs_mount`` takes "the
+    dataset(s)", paper §III-A).
+
+    Sample indices run through the sources in order; names keep each
+    source's namespace (``imagenet/00000007``, ``imdb/00000000``, ...),
+    so lookups by name resolve across all mounted datasets.
+    """
+
+    def __init__(self, datasets: list["Dataset"], name: str = "composite") -> None:
+        if not datasets:
+            raise ConfigError("CompositeDataset needs at least one source")
+        names = [d.name for d in datasets]
+        if len(set(names)) != len(names):
+            raise ConfigError("source dataset names must be unique")
+        sizes = np.concatenate([d.sizes for d in datasets])
+        super().__init__(name, sizes,
+                         num_classes=max(d.num_classes for d in datasets))
+        # Labels come from the sources, not from the base-class RNG.
+        labels = np.concatenate([d.labels for d in datasets])
+        labels.setflags(write=False)
+        self.labels = labels
+        self.sources = list(datasets)
+        self._bounds = np.concatenate(
+            ([0], np.cumsum([d.num_samples for d in datasets]))
+        )
+
+    def source_of(self, index: int) -> tuple[int, int]:
+        """-> (source dataset position, index local to that source)."""
+        if not 0 <= index < self.num_samples:
+            raise ConfigError(f"sample index {index} out of range")
+        src = int(np.searchsorted(self._bounds, index, side="right") - 1)
+        return src, index - int(self._bounds[src])
+
+    def sample_name(self, index: int) -> str:
+        src, local = self.source_of(index)
+        return self.sources[src].sample_name(local)
+
+    def hash_all_names(self):
+        keys, checks = [], []
+        for d in self.sources:
+            k, c = d.hash_all_names()
+            keys.append(k)
+            checks.append(c)
+        return np.concatenate(keys), np.concatenate(checks)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(d.name for d in self.sources)
+        return f"<CompositeDataset [{inner}] n={self.num_samples}>"
+
+
+@dataclass(frozen=True)
+class SampleLocation:
+    """Physical position of one sample: which shard/device, where on it."""
+
+    shard: int
+    offset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+class DatasetLayout:
+    """Physical placement: samples -> shards -> contiguous byte ranges.
+
+    ``num_shards`` equals the number of NVMe devices the mount spans.
+    Samples are assigned to shards either in contiguous index ranges
+    (``interleaved=False``, the default — each node uploads "its portion
+    of the files", §III-A) or round-robin (``interleaved=True``).
+    Within a shard samples are packed back-to-back from ``base_offset``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        num_shards: int,
+        base_offset: int = 0,
+        interleaved: bool = False,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigError("num_shards must be >= 1")
+        if num_shards > dataset.num_samples:
+            raise ConfigError(
+                f"cannot split {dataset.num_samples} samples over "
+                f"{num_shards} shards"
+            )
+        if base_offset < 0 or base_offset % 512:
+            raise ConfigError("base_offset must be non-negative, 512-aligned")
+        self.dataset = dataset
+        self.num_shards = num_shards
+        self.base_offset = base_offset
+        self.interleaved = interleaved
+
+        n = dataset.num_samples
+        if interleaved:
+            shard_ids = np.arange(n, dtype=np.int32) % num_shards
+        else:
+            # Contiguous split, remainder spread over the first shards.
+            bounds = np.linspace(0, n, num_shards + 1).astype(np.int64)
+            shard_ids = np.zeros(n, dtype=np.int32)
+            for s in range(num_shards):
+                shard_ids[bounds[s]:bounds[s + 1]] = s
+        self.shard_ids = shard_ids
+        self.shard_ids.setflags(write=False)
+
+        # Pack each shard contiguously: offset[i] = base + cumsum of the
+        # sizes of earlier samples in the same shard.
+        offsets = np.zeros(n, dtype=np.int64)
+        self._shard_samples: list[np.ndarray] = []
+        self._shard_bytes = np.zeros(num_shards, dtype=np.int64)
+        for s in range(num_shards):
+            members = np.flatnonzero(shard_ids == s)
+            member_sizes = dataset.sizes[members]
+            starts = np.concatenate(([0], np.cumsum(member_sizes[:-1])))
+            offsets[members] = base_offset + starts
+            self._shard_samples.append(members)
+            self._shard_bytes[s] = member_sizes.sum()
+        self.offsets = offsets
+        self.offsets.setflags(write=False)
+        self._shard_bytes.setflags(write=False)
+
+    # -- queries ------------------------------------------------------------
+    def location(self, index: int) -> SampleLocation:
+        """Where sample ``index`` lives."""
+        if not 0 <= index < self.dataset.num_samples:
+            raise ConfigError(f"sample index {index} out of range")
+        return SampleLocation(
+            shard=int(self.shard_ids[index]),
+            offset=int(self.offsets[index]),
+            length=int(self.dataset.sizes[index]),
+        )
+
+    def shard_of(self, index: int) -> int:
+        return int(self.shard_ids[index])
+
+    def shard_samples(self, shard: int) -> np.ndarray:
+        """Sample indices stored on ``shard`` (ascending)."""
+        self._check_shard(shard)
+        return self._shard_samples[shard]
+
+    def shard_bytes(self, shard: int) -> int:
+        """Payload bytes packed on ``shard``."""
+        self._check_shard(shard)
+        return int(self._shard_bytes[shard])
+
+    def shard_extent(self, shard: int) -> tuple[int, int]:
+        """(start, end) byte range occupied on the shard's device."""
+        return (self.base_offset, self.base_offset + self.shard_bytes(shard))
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ConfigError(f"shard {shard} out of range")
+
+    def __repr__(self) -> str:
+        return (
+            f"<DatasetLayout {self.dataset.name!r} shards={self.num_shards} "
+            f"{'interleaved' if self.interleaved else 'contiguous'}>"
+        )

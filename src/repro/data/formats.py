@@ -1,0 +1,189 @@
+"""Batched dataset file formats (TFRecord-like, CIFAR-like).
+
+§II-B of the paper discusses the common workaround for small random
+reads: preprocessing samples into large batched files (TFRecord,
+CIFAR10 binary).  The cost is shuffling quality — a TFRecord is read
+sequentially through a bounded shuffle buffer, so samples can only be
+permuted within a window.  These models let us (a) lay batched files out
+on the simulated devices, (b) index *individual samples inside* a
+batched file (DLFS's sample directory supports this, §III-B1), and
+(c) quantify shuffle quality versus buffer size for the motivation
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .dataset import Dataset
+
+__all__ = [
+    "BatchedFile",
+    "TFRecordFormat",
+    "CIFARBatchFormat",
+    "shuffle_quality",
+    "shuffle_buffer_order",
+]
+
+#: TFRecord framing: 8-byte length + 4-byte length CRC + 4-byte data CRC.
+TFRECORD_HEADER_BYTES = 16
+#: CIFAR binary framing: 1 label byte before the fixed-size pixel block.
+CIFAR_LABEL_BYTES = 1
+
+
+@dataclass(frozen=True)
+class BatchedFile:
+    """One batched file: a contiguous run of framed samples."""
+
+    name: str
+    #: Indices (into the source dataset) of the contained samples, in
+    #: on-disk order.
+    sample_indices: np.ndarray
+    #: Byte offset of each sample's payload *within the file*.
+    payload_offsets: np.ndarray
+    #: Payload length of each sample.
+    payload_lengths: np.ndarray
+    #: Total file size including framing.
+    file_bytes: int
+
+    def __post_init__(self) -> None:
+        n = len(self.sample_indices)
+        if not (len(self.payload_offsets) == len(self.payload_lengths) == n):
+            raise ConfigError("batched-file arrays must have equal length")
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.sample_indices)
+
+    def locate(self, position: int) -> tuple[int, int]:
+        """(offset, length) of the payload at on-disk position ``position``."""
+        if not 0 <= position < self.num_samples:
+            raise ConfigError(f"record position {position} out of range")
+        return int(self.payload_offsets[position]), int(self.payload_lengths[position])
+
+
+class TFRecordFormat:
+    """Pack samples into fixed-count TFRecord-like files."""
+
+    def __init__(self, samples_per_file: int = 1024) -> None:
+        if samples_per_file < 1:
+            raise ConfigError("samples_per_file must be >= 1")
+        self.samples_per_file = samples_per_file
+
+    def pack(self, dataset: Dataset, order: np.ndarray | None = None) -> list[BatchedFile]:
+        """Build batched files covering the dataset.
+
+        ``order`` is the on-disk sample order (defaults to index order —
+        the "predefined input pattern" the paper warns about).
+        """
+        if order is None:
+            order = np.arange(dataset.num_samples, dtype=np.int64)
+        else:
+            order = np.asarray(order, dtype=np.int64)
+            if sorted(order.tolist()) != list(range(dataset.num_samples)):
+                raise ConfigError("order must be a permutation of all samples")
+        files = []
+        for start in range(0, dataset.num_samples, self.samples_per_file):
+            members = order[start:start + self.samples_per_file]
+            lengths = dataset.sizes[members]
+            # Each record: header + payload; payload begins after header.
+            record_starts = np.concatenate(
+                ([0], np.cumsum(lengths[:-1] + TFRECORD_HEADER_BYTES))
+            )
+            payload_offsets = record_starts + TFRECORD_HEADER_BYTES
+            total = int((lengths + TFRECORD_HEADER_BYTES).sum())
+            files.append(
+                BatchedFile(
+                    name=f"{dataset.name}.tfrecord.{start // self.samples_per_file:05d}",
+                    sample_indices=members,
+                    payload_offsets=payload_offsets,
+                    payload_lengths=lengths.copy(),
+                    file_bytes=total,
+                )
+            )
+        return files
+
+
+class CIFARBatchFormat:
+    """CIFAR10-binary-like: fixed record size, label byte + pixel block."""
+
+    def __init__(self, record_bytes: int = 3072, samples_per_file: int = 10000) -> None:
+        if record_bytes < 1 or samples_per_file < 1:
+            raise ConfigError("record_bytes and samples_per_file must be >= 1")
+        self.record_bytes = record_bytes
+        self.samples_per_file = samples_per_file
+
+    def pack(self, dataset: Dataset) -> list[BatchedFile]:
+        files = []
+        stride = CIFAR_LABEL_BYTES + self.record_bytes
+        for start in range(0, dataset.num_samples, self.samples_per_file):
+            members = np.arange(
+                start, min(start + self.samples_per_file, dataset.num_samples),
+                dtype=np.int64,
+            )
+            n = len(members)
+            payload_offsets = np.arange(n, dtype=np.int64) * stride + CIFAR_LABEL_BYTES
+            files.append(
+                BatchedFile(
+                    name=f"{dataset.name}.cifar.{start // self.samples_per_file:05d}",
+                    sample_indices=members,
+                    payload_offsets=payload_offsets,
+                    payload_lengths=np.full(n, self.record_bytes, dtype=np.int64),
+                    file_bytes=n * stride,
+                )
+            )
+        return files
+
+
+def shuffle_buffer_order(
+    n: int, buffer_size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """The tf.data bounded shuffle-buffer discipline (paper §II-B).
+
+    Records stream in on-disk order through a buffer of ``buffer_size``;
+    each emission picks a uniformly random buffered record and refills
+    from the stream.  With ``buffer_size < n`` the result is only
+    *partially* shuffled — the effect the paper quantifies against
+    DLFS's global randomization.
+    """
+    if n < 0 or buffer_size < 1:
+        raise ConfigError("need n >= 0 and buffer_size >= 1")
+    if buffer_size >= n:
+        return rng.permutation(n)
+    buffer = list(range(buffer_size))
+    next_in = buffer_size
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        j = int(rng.integers(len(buffer)))
+        out[i] = buffer[j]
+        if next_in < n:
+            buffer[j] = next_in
+            next_in += 1
+        else:
+            buffer[j] = buffer[-1]
+            buffer.pop()
+    return out
+
+
+def shuffle_quality(order: np.ndarray) -> float:
+    """How close an access order is to a uniform random permutation.
+
+    Returns the normalized mean absolute displacement between each
+    sample's position in ``order`` and its on-disk index: 0.0 for the
+    identity (no shuffling), ~1.0 for a uniform random permutation
+    (whose expected normalized displacement is 1/3, used as the unit).
+    This is the metric behind the paper's claim that a bounded shuffle
+    buffer yields only *partially* shuffled samples.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    n = len(order)
+    if n < 2:
+        return 0.0
+    positions = np.empty(n, dtype=np.int64)
+    positions[order] = np.arange(n)
+    displacement = np.abs(positions - np.arange(n)).mean()
+    expected_random = n / 3.0  # E|X - Y| for iid uniform on [0, n)
+    return float(displacement / expected_random)

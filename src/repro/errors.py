@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing simulation faults from file-system faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """``run()`` returned with live processes but no scheduled events."""
+
+
+class InterruptedProcess(SimulationError):
+    """A simulation process was interrupted while waiting on an event."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ResourceError(SimulationError):
+    """Illegal use of a simulated resource (double release, bad handle...)."""
+
+
+class HardwareError(ReproError):
+    """A hardware model was driven outside its operating envelope."""
+
+
+class QueueFullError(HardwareError):
+    """A bounded hardware queue (NVMe SQ, QPair) rejected a submission."""
+
+
+class AllocationError(HardwareError):
+    """A fixed-size pool (hugepages, cache chunks) is exhausted."""
+
+
+class FileSystemError(ReproError):
+    """Base class for errors raised by any of the simulated file systems."""
+
+
+class FileNotFound(FileSystemError):
+    """Lookup failed: no such file or sample."""
+
+
+class NotMounted(FileSystemError):
+    """Operation attempted before ``mount`` (or after ``unmount``)."""
+
+
+class InvalidHandle(FileSystemError):
+    """A file/sample handle is stale or was never issued."""
+
+
+class DirectoryError(FileSystemError):
+    """The in-memory sample directory rejected an operation."""
+
+
+class EntryFormatError(DirectoryError):
+    """A field does not fit the 128-bit sample-entry layout."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""

@@ -1,0 +1,46 @@
+"""Hardware models: CPU cores, memory pools, RDMA fabric, NVMe devices.
+
+All cost-model constants live in :mod:`repro.hw.platform`; the component
+classes here turn those constants into contended simulation resources.
+"""
+
+from .cpu import CPU, BoundThread, Core
+from .memory import HugePageChunk, HugePagePool
+from .network import NIC, Fabric
+from .nvme import READ, WRITE, NVMeCommand, NVMeDevice
+from .platform import (
+    GB,
+    KB,
+    MB,
+    MSEC,
+    USEC,
+    CPUSpec,
+    NetworkSpec,
+    NVMeSpec,
+    OSSpec,
+    Testbed,
+)
+
+__all__ = [
+    "CPU",
+    "Core",
+    "BoundThread",
+    "HugePagePool",
+    "HugePageChunk",
+    "Fabric",
+    "NIC",
+    "NVMeDevice",
+    "NVMeCommand",
+    "READ",
+    "WRITE",
+    "CPUSpec",
+    "OSSpec",
+    "NVMeSpec",
+    "NetworkSpec",
+    "Testbed",
+    "KB",
+    "MB",
+    "GB",
+    "USEC",
+    "MSEC",
+]

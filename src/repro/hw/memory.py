@@ -1,0 +1,126 @@
+"""Memory models: the SPDK hugepage pool and DRAM buffers.
+
+SPDK mandates that every I/O buffer live on hugepages (§III-C of the
+paper).  The pool hands out fixed-size *chunks* (the DLFS sample cache is
+built from 256 KB chunks by default); exhaustion makes allocators wait,
+which back-pressures the read pipeline exactly like the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..errors import AllocationError, ConfigError
+from ..sim import Environment, Event, Store
+
+__all__ = ["HugePageChunk", "HugePagePool"]
+
+
+@dataclass(eq=False)
+class HugePageChunk:
+    """One pinned, physically contiguous buffer from the hugepage pool."""
+
+    index: int
+    size: int
+    pool: "HugePagePool"
+    #: Bytes of valid data currently in the chunk (set by the I/O path).
+    valid_bytes: int = 0
+    #: Opaque owner tag for debugging (e.g. which cache slot holds it).
+    owner: Optional[object] = None
+
+    def __repr__(self) -> str:
+        return f"<HugePageChunk #{self.index} {self.valid_bytes}/{self.size}B>"
+
+
+class HugePagePool:
+    """Fixed population of equal-size hugepage chunks.
+
+    ``alloc`` blocks (FIFO) when the pool is empty; ``free`` returns a
+    chunk.  ``try_alloc`` is the non-blocking variant used by
+    opportunistic paths.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        total_bytes: int,
+        chunk_size: int,
+        name: str = "hugepages",
+    ) -> None:
+        if chunk_size <= 0:
+            raise ConfigError("chunk_size must be positive")
+        if total_bytes < chunk_size:
+            raise ConfigError(
+                f"pool of {total_bytes} B cannot hold one {chunk_size} B chunk"
+            )
+        self.env = env
+        self.name = name
+        self.chunk_size = chunk_size
+        self.num_chunks = total_bytes // chunk_size
+        self._free = Store(env, name=f"{name}-free")
+        self._all: list[HugePageChunk] = []
+        for i in range(self.num_chunks):
+            chunk = HugePageChunk(index=i, size=chunk_size, pool=self)
+            self._all.append(chunk)
+            self._free.put(chunk)
+        self._outstanding = 0
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def free_chunks(self) -> int:
+        return len(self._free)
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_chunks * self.chunk_size
+
+    # -- allocation ----------------------------------------------------------
+    def alloc(self) -> Event:
+        """Blocking allocation; the event's value is a :class:`HugePageChunk`."""
+        self._outstanding += 1
+        return self._free.get()
+
+    def alloc_many(self, count: int) -> Generator[Event, Any, list[HugePageChunk]]:
+        """Process helper: allocate ``count`` chunks (may block per chunk)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count > self.num_chunks:
+            raise AllocationError(
+                f"request for {count} chunks exceeds pool of {self.num_chunks}"
+            )
+        chunks = []
+        for _ in range(count):
+            chunk = yield self.alloc()
+            chunks.append(chunk)
+        return chunks
+
+    def try_alloc(self) -> Optional[HugePageChunk]:
+        """Non-blocking allocation; ``None`` when the pool is empty."""
+        if len(self._free) == 0:
+            return None
+        self._outstanding += 1
+        event = self._free.get()
+        assert event.triggered
+        return event.value
+
+    def free(self, chunk: HugePageChunk) -> None:
+        """Return a chunk to the pool."""
+        if chunk.pool is not self:
+            raise AllocationError(f"{chunk!r} does not belong to pool {self.name!r}")
+        if self._outstanding <= 0:
+            raise AllocationError(f"double free of {chunk!r}")
+        chunk.valid_bytes = 0
+        chunk.owner = None
+        self._outstanding -= 1
+        self._free.put(chunk)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HugePagePool {self.name!r} {self.free_chunks}/{self.num_chunks} "
+            f"free x {self.chunk_size}B>"
+        )

@@ -1,0 +1,178 @@
+"""NVMe device model.
+
+The controller is reduced to the three features the paper's evaluation
+exercises:
+
+* a serialized **command processor** — fixed cost per command, which
+  caps IOPS and is what chunk-level batching amortizes;
+* a shared **data pipe** — the device's read bandwidth;
+* a constant **media latency** per command, paid concurrently by
+  outstanding commands (the device's internal parallelism).
+
+A command's solo latency is ``cmd_overhead + read_latency +
+nbytes/bandwidth``; sustained small-command throughput approaches
+``1/cmd_overhead``; sustained large-command throughput approaches
+``bandwidth``.  Those are the published envelope numbers for the
+paper's Intel Optane device.
+
+For multi-node experiments the paper emulates NVMe with RAMdisk plus an
+injected delay; ``NVMeSpec.emulated_ramdisk()`` mirrors that by keeping
+the same envelope and tagging the spec, exactly as the paper intends.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..errors import ConfigError, HardwareError, QueueFullError
+from ..sim import Environment, Event, Resource, Tally, ThroughputMeter
+from .platform import GB, NVMeSpec
+
+__all__ = ["NVMeCommand", "NVMeDevice", "READ", "WRITE"]
+
+READ = "read"
+WRITE = "write"
+
+#: Logical block size used for address validation.
+BLOCK_SIZE = 512
+
+
+@dataclass(eq=False)
+class NVMeCommand:
+    """One NVMe I/O command."""
+
+    op: str
+    offset: int
+    nbytes: int
+    #: Fires (with the command as value) when the device completes it.
+    completion: Event = field(repr=False)
+    #: Opaque tag the submitter can use to route completions.
+    tag: Optional[object] = None
+    submit_time: float = 0.0
+    complete_time: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.complete_time - self.submit_time
+
+
+class NVMeDevice:
+    """One NVMe SSD (real or paper-style RAMdisk emulation)."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: Optional[NVMeSpec] = None,
+        name: Optional[str] = None,
+        capacity: int = 480 * GB,
+    ) -> None:
+        self.env = env
+        self.spec = spec or NVMeSpec.intel_optane_480g()
+        self.spec.validate()
+        if capacity <= 0:
+            raise ConfigError("device capacity must be positive")
+        self.name = name or f"nvme{next(self._ids)}"
+        self.capacity = capacity
+        self._cmd_proc = Resource(env, capacity=1, name=f"{self.name}.cmdproc")
+        self._data_pipe = Resource(env, capacity=1, name=f"{self.name}.data")
+        self._outstanding = 0
+        self._active_queues = 0
+        self.read_meter = ThroughputMeter(env, name=f"{self.name}.read")
+        self.write_meter = ThroughputMeter(env, name=f"{self.name}.write")
+        self.latency = Tally(f"{self.name}.latency")
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Commands submitted but not yet completed."""
+        return self._outstanding
+
+    def bandwidth_utilization(self) -> float:
+        """Fraction of the data pipe kept busy since t=0."""
+        return self._data_pipe.utilization()
+
+    def register_queue(self) -> None:
+        """Declare one more active submission queue.
+
+        The controller arbitrates round-robin across queues; each extra
+        active queue adds ``spec.queue_arbitration_penalty`` to the
+        per-command processing cost (the Fig 7a high-core-count dip).
+        """
+        self._active_queues += 1
+
+    @property
+    def effective_cmd_overhead(self) -> float:
+        extra_queues = max(0, self._active_queues - 1)
+        return (
+            self.spec.cmd_overhead
+            + self.spec.queue_arbitration_penalty * extra_queues
+        )
+
+    # -- command submission ----------------------------------------------------
+    def submit(
+        self, op: str, offset: int, nbytes: int, tag: Optional[object] = None
+    ) -> NVMeCommand:
+        """Queue one command; returns it with a live ``completion`` event.
+
+        Raises :class:`QueueFullError` beyond ``spec.max_outstanding`` —
+        queue-depth pacing is the submitter's job (the SPDK QPair and the
+        kernel block layer both do it).
+        """
+        if op not in (READ, WRITE):
+            raise HardwareError(f"unsupported NVMe opcode: {op!r}")
+        if nbytes <= 0:
+            raise HardwareError(f"command size must be positive, got {nbytes}")
+        if offset < 0 or offset + nbytes > self.capacity:
+            raise HardwareError(
+                f"command [{offset}, {offset + nbytes}) outside device "
+                f"capacity {self.capacity}"
+            )
+        if offset % BLOCK_SIZE:
+            raise HardwareError(
+                f"offset {offset} not aligned to {BLOCK_SIZE}-byte blocks"
+            )
+        if self._outstanding >= self.spec.max_outstanding:
+            raise QueueFullError(
+                f"{self.name}: {self._outstanding} commands outstanding "
+                f"(max {self.spec.max_outstanding})"
+            )
+        cmd = NVMeCommand(
+            op=op,
+            offset=offset,
+            nbytes=nbytes,
+            completion=self.env.event(),
+            tag=tag,
+            submit_time=self.env.now,
+        )
+        self._outstanding += 1
+        self.env.process(self._service(cmd), name=f"{self.name}.cmd")
+        return cmd
+
+    def read(self, offset: int, nbytes: int, tag: Optional[object] = None) -> NVMeCommand:
+        return self.submit(READ, offset, nbytes, tag)
+
+    def write(self, offset: int, nbytes: int, tag: Optional[object] = None) -> NVMeCommand:
+        return self.submit(WRITE, offset, nbytes, tag)
+
+    # -- service -----------------------------------------------------------------
+    def _service(self, cmd: NVMeCommand) -> Generator[Event, Any, None]:
+        # 1. command processing (serialized: the IOPS ceiling)
+        yield from self._cmd_proc.hold(self.effective_cmd_overhead)
+        # 2. media access latency (paid concurrently across commands)
+        yield self.env.timeout(self.spec.read_latency)
+        # 3. data movement (serialized on the device's bandwidth)
+        yield from self._data_pipe.hold(self.spec.transfer_time(cmd.nbytes))
+        cmd.complete_time = self.env.now
+        self._outstanding -= 1
+        self.latency.observe(cmd.latency)
+        meter = self.read_meter if cmd.op == READ else self.write_meter
+        meter.record(nbytes=cmd.nbytes)
+        cmd.completion.succeed(cmd)
+
+    def __repr__(self) -> str:
+        kind = "emulated" if self.spec.emulated else "real"
+        return f"<NVMeDevice {self.name!r} ({kind}, {self.capacity // GB} GB)>"

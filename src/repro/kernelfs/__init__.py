@@ -1,0 +1,15 @@
+"""Kernel I/O stack baseline: VFS + Ext4 + page cache + block layer."""
+
+from .ext4 import Ext4FD, Ext4File, Ext4FileSystem, READ_SEGMENT_BYTES
+from .lru import LRUCache
+from .pagecache import PAGE_SIZE, PageCache
+
+__all__ = [
+    "Ext4FileSystem",
+    "Ext4File",
+    "Ext4FD",
+    "READ_SEGMENT_BYTES",
+    "PageCache",
+    "PAGE_SIZE",
+    "LRUCache",
+]

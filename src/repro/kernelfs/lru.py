@@ -1,0 +1,80 @@
+"""Bounded LRU sets/maps used by the kernel cache models.
+
+The kernel baseline needs three caches — dentries, inodes, and the page
+cache — all with the same recency semantics: lookup promotes, insert
+evicts the coldest entry past capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+from ..errors import ConfigError
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A capacity-bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ConfigError("LRU capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._entries: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        """Membership test without recency promotion or stats."""
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def get(self, key: K) -> Optional[V]:
+        """Lookup with promotion; records hit/miss. None on miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: K, value: V) -> Optional[tuple[K, V]]:
+        """Insert/refresh; returns the evicted (key, value) if any."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return None
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self.evictions += 1
+            return self._entries.popitem(last=False)
+        return None
+
+    def discard(self, key: K) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<LRUCache {self.name!r} {len(self._entries)}/{self.capacity} "
+            f"hit_rate={self.hit_rate:.2f}>"
+        )

@@ -1,0 +1,6 @@
+"""Octopus baseline: RDMA distributed FS with hash-partitioned metadata."""
+
+from .fs import OctopusFS
+from .metadata import DistributedMetadata, FileMeta, OctopusSpec
+
+__all__ = ["OctopusFS", "DistributedMetadata", "FileMeta", "OctopusSpec"]

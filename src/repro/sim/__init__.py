@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`Environment` — event queue and simulated clock.
+* :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`AllOf`,
+  :class:`AnyOf` — the waitable primitives processes yield.
+* :class:`Resource`, :class:`PriorityResource`, :class:`Store`,
+  :class:`Container` — contention primitives.
+* :class:`Tally`, :class:`TimeWeighted`, :class:`Counter`,
+  :class:`ThroughputMeter` — measurement accumulators.
+"""
+
+from .engine import AllOf, AnyOf, Environment, Event, Process, Timeout
+from .resources import Container, PriorityResource, Request, Resource, Store
+from .stats import Counter, Tally, ThroughputMeter, TimeWeighted
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Store",
+    "Container",
+    "Tally",
+    "TimeWeighted",
+    "Counter",
+    "ThroughputMeter",
+]

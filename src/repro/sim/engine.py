@@ -1,0 +1,436 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based DES in the style of SimPy.  Every
+hardware and software component in this reproduction is a *process*: a
+Python generator that yields :class:`Event` objects to suspend itself until
+the event fires.  The kernel owns simulated time (``env.now``, in seconds)
+and never consults the wall clock, so every run is reproducible.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulationError, InterruptedProcess
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "PENDING",
+]
+
+#: Sentinel for an event value that has not been set yet.
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events move through three states: *untriggered* (just created),
+    *triggered* (scheduled for processing; value fixed), and *processed*
+    (callbacks have run).  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks run when the event is processed.  ``None`` once processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection --------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is not yet triggered."""
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._post(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def _resolve(self) -> None:
+        """Run callbacks.  Called by the environment, exactly once."""
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+        if not self._ok and not self._defused:
+            # A failure nobody waited on must not pass silently.
+            raise self._value
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._post(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._post(self)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Wraps a generator; itself an event that fires when the generator ends.
+
+    The process's value is the generator's return value; if the generator
+    raises, the process fails with that exception (propagated to waiters).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when running).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptedProcess` into the process.
+
+        The process must currently be suspended on an event; the event is
+        abandoned (its firing will be ignored by this process).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has already terminated")
+        if self._target is None:
+            raise SimulationError(f"{self!r} is not waiting on an event")
+        # Detach from the old target.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = InterruptedProcess(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = []
+        interrupt_event.callbacks.append(self._resume)
+        self.env._post(interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.env._active_process = self
+        # (ok, payload): payload is a value when ok, an exception otherwise.
+        ok, payload = event._ok, event._value
+        if not ok:
+            event._defused = True
+        while True:
+            try:
+                if ok:
+                    next_event = self._generator.send(payload)
+                else:
+                    next_event = self._generator.throw(payload)
+            except StopIteration as stop:
+                self._target = None
+                self._ok = True
+                self._value = stop.value
+                self.env._post(self)
+                break
+            except BaseException as exc:
+                self._target = None
+                self._ok = False
+                self._value = exc
+                self.env._post(self)
+                break
+
+            if not isinstance(next_event, Event):
+                ok, payload = False, SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                continue
+            if next_event.env is not self.env:
+                ok, payload = False, SimulationError(
+                    f"process {self.name!r} yielded an event from a "
+                    "different environment"
+                )
+                continue
+
+            if next_event.callbacks is not None:
+                # Event still pending: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: continue synchronously.
+            ok, payload = next_event._ok, next_event._value
+            if not ok:
+                next_event._defused = True
+        self.env._active_process = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of child events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("condition spans multiple environments")
+        self._remaining = sum(1 for e in self._events if e.callbacks is not None)
+        for event in self._events:
+            if event.callbacks is None:
+                self._child_fired(event, immediate=True)
+            else:
+                event.callbacks.append(self._child_fired)
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* children count as fired: a Timeout carries its
+        # value from construction, so checking ``_value`` would wrongly
+        # include timeouts that have not elapsed yet.
+        return {e: e._value for e in self._events if e.processed}
+
+    def _child_fired(self, event: Event, immediate: bool = False) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when *all* child events have fired; value maps event -> value."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events)
+        if self._value is PENDING and self._remaining == 0:
+            self.succeed(self._collect())
+
+    def _child_fired(self, event: Event, immediate: bool = False) -> None:
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        if not immediate:
+            self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires when *any* child event fires; value maps fired events -> values."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events)
+        if self._value is PENDING and self._remaining < len(self._events):
+            self.succeed(self._collect())
+        elif self._value is PENDING and not self._events:
+            self.succeed({})
+
+    def _child_fired(self, event: Event, immediate: bool = False) -> None:
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """Owns the event queue and simulated time.
+
+    Time is a float in **seconds**.  Ties are broken by insertion order,
+    which makes runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing once all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        """Schedule ``event`` for processing ``delay`` seconds from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        self._now, _, event = heapq.heappop(self._queue)
+        event._resolve()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a time
+        (run until simulated time reaches it), or an :class:`Event` (run
+        until that event is processed, returning its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            while self._queue:
+                if stop.processed:
+                    break
+                self.step()
+            if not stop.triggered:
+                raise SimulationError(
+                    "run(until=event): event queue drained before the "
+                    "target event fired (deadlock?)"
+                )
+            if not stop._ok:
+                stop._defused = True
+                raise stop._value
+            return stop._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon!r} is in the past (now={self._now!r})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

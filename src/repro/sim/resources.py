@@ -1,0 +1,340 @@
+"""Shared-resource primitives for the DES kernel.
+
+Three primitives cover every contention point in the simulated testbed:
+
+:class:`Resource`
+    FIFO semaphore with fixed capacity — CPU cores, NIC directions,
+    NVMe channel slots.
+:class:`PriorityResource`
+    Same, but waiters are served lowest-priority-value first.
+:class:`Store`
+    Unbounded-or-bounded FIFO queue of items — request queues,
+    submission/completion queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from ..errors import ResourceError
+from .engine import Environment, Event
+
+__all__ = ["Resource", "PriorityResource", "Request", "Store", "Container"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable directly as a yielded event.  Once granted, pass it back to
+    :meth:`Resource.release`.
+    """
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A FIFO semaphore with ``capacity`` identical slots.
+
+    >>> def proc(env, core):
+    ...     req = core.request()
+    ...     yield req
+    ...     yield env.timeout(1.0)      # hold the core for 1 s
+    ...     core.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._users: set[Request] = set()
+        self._waiters: Deque[Request] = deque()
+        # Usage accounting for utilization reporting.
+        self._busy_integral = 0.0
+        self._last_change = env.now
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_integral += len(self._users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self) -> float:
+        """Time-weighted mean fraction of capacity in use since t=0."""
+        self._account()
+        elapsed = self.env.now
+        if elapsed <= 0.0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    # -- protocol --------------------------------------------------------------
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = Request(self, priority)
+        if len(self._users) < self.capacity and not self._waiters:
+            self._grant(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if request not in self._users:
+            raise ResourceError(
+                f"release of a request not holding {self.name or 'resource'}"
+            )
+        self._account()
+        self._users.discard(request)
+        self._dispatch()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a request that has not been granted yet."""
+        if request in self._users:
+            raise ResourceError("cannot cancel a granted request; release it")
+        self._remove_waiter(request)
+
+    # -- queue policy (overridden by PriorityResource) ---------------------------
+    def _enqueue(self, req: Request) -> None:
+        self._waiters.append(req)
+
+    def _next_waiter(self) -> Optional[Request]:
+        return self._waiters.popleft() if self._waiters else None
+
+    def _remove_waiter(self, req: Request) -> None:
+        try:
+            self._waiters.remove(req)
+        except ValueError:
+            raise ResourceError("request is not waiting") from None
+
+    def _grant(self, req: Request) -> None:
+        self._account()
+        self._users.add(req)
+        req.succeed(req)
+
+    def _dispatch(self) -> None:
+        while len(self._users) < self.capacity:
+            nxt = self._next_waiter()
+            if nxt is None:
+                break
+            self._grant(nxt)
+
+    # -- convenience ------------------------------------------------------------
+    def hold(self, duration: float) -> Generator[Event, Any, None]:
+        """Process helper: acquire one slot, keep it ``duration``, release.
+
+        Use as ``yield from resource.hold(t)``.  If the caller is thrown
+        into (or closed) at any point, the slot is released or the pending
+        claim withdrawn.
+        """
+        req = self.request()
+        try:
+            yield req
+            yield self.env.timeout(duration)
+        finally:
+            if req in self._users:
+                self.release(req)
+            elif not req.triggered:
+                self.cancel(req)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} {self.count}/{self.capacity} "
+            f"({self.queue_length} waiting)>"
+        )
+
+
+class PriorityResource(Resource):
+    """A resource whose waiters are served lowest ``priority`` value first.
+
+    Ties are FIFO (stable via an insertion counter).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "") -> None:
+        super().__init__(env, capacity, name)
+        self._heap: list[tuple[float, int, Request]] = []
+        self._counter = 0
+
+    def _enqueue(self, req: Request) -> None:
+        self._counter += 1
+        heapq.heappush(self._heap, (req.priority, self._counter, req))
+
+    def _next_waiter(self) -> Optional[Request]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def _remove_waiter(self, req: Request) -> None:
+        for i, (_, _, r) in enumerate(self._heap):
+            if r is req:
+                self._heap[i] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                return
+        raise ResourceError("request is not waiting")
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any) -> None:
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+
+class Store:
+    """A FIFO queue of arbitrary items with blocking ``get``/``put``.
+
+    ``capacity`` bounds the number of buffered items; ``put`` on a full
+    store blocks until a ``get`` makes room.  ``capacity=None`` means
+    unbounded (puts always succeed immediately).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> StorePut:
+        """Append ``item``; the event fires once the item is accepted."""
+        event = StorePut(self.env, item)
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+        return event
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the event's value is the item."""
+        event = StoreGet(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self._items:
+            self._getters.popleft().succeed(self._items.popleft())
+            self._serve_putters()
+
+    def _serve_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            put = self._putters.popleft()
+            self._items.append(put.item)
+            put.succeed()
+            self._serve_getters()
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"<Store {self.name!r} {len(self._items)}/{cap}>"
+
+
+class Container:
+    """A continuous-quantity pool (e.g. bytes of hugepage memory).
+
+    ``get`` blocks until the requested amount is available; ``put``
+    returns quantity.  Waiters are served FIFO; a large request at the
+    head blocks smaller ones behind it (no starvation).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float,
+        initial: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= initial <= capacity:
+            raise ValueError("initial level outside [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._level = initial
+        self._getters: Deque[tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Currently available quantity."""
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        """Take ``amount`` from the pool (blocking if unavailable)."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > self.capacity:
+            raise ResourceError(
+                f"requested {amount} exceeds container capacity {self.capacity}"
+            )
+        event = Event(self.env)
+        if not self._getters and self._level >= amount:
+            self._level -= amount
+            event.succeed(amount)
+        else:
+            self._getters.append((amount, event))
+        return event
+
+    def put(self, amount: float) -> None:
+        """Return ``amount`` to the pool (never blocks)."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if self._level + amount > self.capacity + 1e-9:
+            raise ResourceError("container overflow")
+        self._level = min(self.capacity, self._level + amount)
+        while self._getters and self._getters[0][0] <= self._level:
+            need, event = self._getters.popleft()
+            self._level -= need
+            event.succeed(need)
+
+    def __repr__(self) -> str:
+        return f"<Container {self.name!r} {self._level}/{self.capacity}>"

@@ -1,0 +1,17 @@
+"""SPDK substrate: user-level NVMe driver, I/O queue pairs, NVMe-oF targets."""
+
+from .driver import SPDKDriver
+from .qpair import DEFAULT_QUEUE_DEPTH, IOQPair
+from .request import SPDKRequest, align_down, align_up, aligned_span
+from .target import NVMeoFTarget
+
+__all__ = [
+    "SPDKDriver",
+    "IOQPair",
+    "DEFAULT_QUEUE_DEPTH",
+    "SPDKRequest",
+    "NVMeoFTarget",
+    "align_down",
+    "align_up",
+    "aligned_span",
+]

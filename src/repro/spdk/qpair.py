@@ -1,0 +1,113 @@
+"""SPDK I/O queue pairs.
+
+A QPair couples a submission queue with a completion queue under a
+fixed queue depth (§III-C2).  ``post`` is non-blocking and cheap (a
+doorbell write); completions land in a *completion sink* — by default a
+per-qpair queue, but DLFS points every qpair at one shared completion
+queue (SCQ) so a single reactor can balance progress across all targets
+with one poll loop.
+
+The sink is a :class:`~repro.sim.Store`; a busy-polling reactor that
+holds its core and blocks on ``sink.get()`` is observationally
+equivalent to SPDK's poll loop (core pegged, completion seen
+immediately) without simulating every empty poll iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Union
+
+from ..errors import ConfigError, QueueFullError
+from ..hw import NVMeDevice
+from ..sim import Environment, Event, Store, Tally
+from .request import SPDKRequest
+from .target import NVMeoFTarget
+
+__all__ = ["IOQPair", "DEFAULT_QUEUE_DEPTH"]
+
+DEFAULT_QUEUE_DEPTH = 128
+
+
+class IOQPair:
+    """One I/O queue pair from a client host to a local or remote device."""
+
+    def __init__(
+        self,
+        env: Environment,
+        client_host: str,
+        target: Union[NVMeDevice, NVMeoFTarget],
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        completion_sink: Optional[Store] = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
+        self.env = env
+        self.client_host = client_host
+        self.target = target
+        self.queue_depth = queue_depth
+        self.is_remote = isinstance(target, NVMeoFTarget)
+        self.target_name = target.name
+        # Each qpair opens one more submission queue at the device; extra
+        # active queues cost controller arbitration (Fig 7a).
+        device = target.device if self.is_remote else target
+        device.register_queue()
+        self.name = f"qp:{client_host}->{self.target_name}"
+        # NB: an empty Store is falsy (len 0), so test against None.
+        self.completion_sink = (
+            completion_sink
+            if completion_sink is not None
+            else Store(env, name=f"{self.name}.cq")
+        )
+        self._inflight = 0
+        self.posted = 0
+        self.completed = 0
+        self.latency = Tally(f"{self.name}.latency")
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def free_slots(self) -> int:
+        return self.queue_depth - self._inflight
+
+    # -- submission -------------------------------------------------------------
+    def post(self, request: SPDKRequest) -> None:
+        """Submit one request; completions appear in ``completion_sink``.
+
+        Raises :class:`QueueFullError` at the queue-depth limit — SPDK
+        returns ``-ENOMEM`` and the caller must pace itself, which the
+        DLFS backend does via ``free_slots``.
+        """
+        if self._inflight >= self.queue_depth:
+            raise QueueFullError(
+                f"{self.name}: queue depth {self.queue_depth} reached"
+            )
+        self._inflight += 1
+        self.posted += 1
+        request.submit_time = self.env.now
+        self.env.process(self._fly(request), name=f"{self.name}.io")
+
+    def _fly(self, request: SPDKRequest) -> Generator[Event, Any, None]:
+        if self.is_remote:
+            yield from self.target.serve_read(
+                self.client_host, request.offset, request.nbytes
+            )
+        else:
+            cmd = self.target.read(request.offset, request.nbytes)
+            yield cmd.completion
+        request.complete_time = self.env.now
+        # Data valid in the request's hugepage chunks.
+        remaining = request.nbytes
+        for chunk in request.chunks:
+            filled = min(chunk.size, remaining)
+            chunk.valid_bytes = filled
+            remaining -= filled
+        self._inflight -= 1
+        self.completed += 1
+        self.latency.observe(request.latency)
+        self.completion_sink.put(request)
+
+    def __repr__(self) -> str:
+        return f"<IOQPair {self.name!r} {self._inflight}/{self.queue_depth}>"

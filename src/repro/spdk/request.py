@@ -1,0 +1,82 @@
+"""SPDK block-I/O request objects.
+
+An :class:`SPDKRequest` is one block read posted to an I/O queue pair.
+DLFS converts each sample (or data chunk) into one or more of these
+(§III-C1: a request larger than a cache chunk is disassembled).  The
+request carries the hugepage chunks receiving the data; SPDK mandates
+hugepage-resident buffers, which the qpair enforces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import ConfigError
+from ..hw.memory import HugePageChunk
+
+__all__ = ["SPDKRequest", "align_down", "align_up", "aligned_span"]
+
+#: NVMe logical block size; SPDK I/O must be block aligned.
+BLOCK = 512
+
+
+def align_down(value: int, block: int = BLOCK) -> int:
+    return value - (value % block)
+
+
+def align_up(value: int, block: int = BLOCK) -> int:
+    return value + (-value % block)
+
+
+def aligned_span(offset: int, nbytes: int, block: int = BLOCK) -> tuple[int, int]:
+    """Smallest block-aligned (offset, nbytes) covering the byte range."""
+    start = align_down(offset, block)
+    end = align_up(offset + nbytes, block)
+    return start, end - start
+
+
+@dataclass(eq=False)
+class SPDKRequest:
+    """One block read in flight through a QPair."""
+
+    _ids = itertools.count()
+
+    #: Device byte offset (block aligned).
+    offset: int
+    #: Transfer size (block aligned).
+    nbytes: int
+    #: Hugepage chunks that receive the data.
+    chunks: Sequence[HugePageChunk]
+    #: Opaque routing tag (DLFS points this at the pending sample read).
+    tag: Optional[object] = None
+    request_id: int = field(default_factory=lambda: next(SPDKRequest._ids))
+    submit_time: float = 0.0
+    complete_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ConfigError("SPDK request size must be positive")
+        if self.offset % BLOCK or self.nbytes % BLOCK:
+            raise ConfigError(
+                f"SPDK I/O must be {BLOCK}-byte aligned "
+                f"(offset={self.offset}, nbytes={self.nbytes})"
+            )
+        if not self.chunks:
+            raise ConfigError("SPDK request needs at least one hugepage chunk")
+        capacity = sum(c.size for c in self.chunks)
+        if capacity < self.nbytes:
+            raise ConfigError(
+                f"buffer capacity {capacity} < request size {self.nbytes}"
+            )
+
+    @property
+    def latency(self) -> float:
+        return self.complete_time - self.submit_time
+
+    def __repr__(self) -> str:
+        return (
+            f"<SPDKRequest #{self.request_id} [{self.offset}, "
+            f"{self.offset + self.nbytes}) x{len(self.chunks)} chunks>"
+        )

@@ -1,0 +1,28 @@
+"""Training stack: SGD, numpy MLP, feature space, TF-style ingest
+adapters, and the Fig 13 training-accuracy experiment."""
+
+from .accuracy import AccuracyComparison, dlfs_ordering, run_accuracy_experiment
+from .features import FeatureSpace
+from .model import MLPClassifier
+from .sgd import TrainingCurve, full_random_ordering, train_with_ordering
+from .tf_adapter import (
+    DLFSTFAdapter,
+    Ext4TFAdapter,
+    OctopusTFAdapter,
+    TFIngestSpec,
+)
+
+__all__ = [
+    "MLPClassifier",
+    "FeatureSpace",
+    "TrainingCurve",
+    "train_with_ordering",
+    "full_random_ordering",
+    "AccuracyComparison",
+    "dlfs_ordering",
+    "run_accuracy_experiment",
+    "TFIngestSpec",
+    "DLFSTFAdapter",
+    "Ext4TFAdapter",
+    "OctopusTFAdapter",
+]

@@ -1,0 +1,67 @@
+"""Deterministic synthetic features for training experiments.
+
+The simulation never materializes sample bytes; when the accuracy
+experiment (Fig 13) needs actual trainable content, features are derived
+deterministically from the sample *index* — so any access ordering over
+the simulated dataset maps to the same underlying classification
+problem.  The task is CIFAR-ish: ``num_classes`` Gaussian clusters in
+``dim`` dimensions with controllable separation (harder = slower
+convergence = more sensitive to ordering pathologies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Dataset
+from ..errors import ConfigError
+
+__all__ = ["FeatureSpace"]
+
+
+class FeatureSpace:
+    """Class-conditional Gaussian features keyed by sample index."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        dim: int = 32,
+        class_separation: float = 1.2,
+        noise: float = 1.0,
+        seed: int = 100,
+    ) -> None:
+        if dim < 1:
+            raise ConfigError("dim must be >= 1")
+        if class_separation <= 0 or noise <= 0:
+            raise ConfigError("class_separation and noise must be positive")
+        self.dataset = dataset
+        self.dim = dim
+        rng = np.random.default_rng(seed)
+        self.means = rng.normal(
+            0.0, class_separation, (dataset.num_classes, dim)
+        )
+        self.noise = noise
+        self.seed = seed
+        # All features are fixed up front by (seed, index): row i is the
+        # feature vector of sample i no matter in which order it is read.
+        noise_rng = np.random.default_rng(seed + 1)
+        self._x = self.means[self.dataset.labels] + noise_rng.normal(
+            0.0, noise, (dataset.num_samples, dim)
+        )
+        self._x.setflags(write=False)
+
+    def features(self, sample_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """-> (X, y) for the given sample indices; bit-stable per index."""
+        idx = np.asarray(sample_indices, dtype=np.int64)
+        return self._x[idx], self.dataset.labels[idx].astype(np.int64)
+
+    def holdout(self, count: int, seed: int = 999) -> tuple[np.ndarray, np.ndarray]:
+        """A validation set drawn from the same class distribution but
+        disjoint from every training sample."""
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, self.dataset.num_classes, count)
+        x = self.means[y] + rng.normal(0.0, self.noise, (count, self.dim))
+        return x, y.astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"<FeatureSpace dim={self.dim} classes={self.dataset.num_classes}>"

@@ -1,0 +1,106 @@
+"""A small numpy MLP classifier (the AlexNet stand-in for Fig 13).
+
+The training-accuracy experiment compares *sample orderings*, not model
+architectures, so any SGD learner whose convergence is sensitive to
+input ordering answers the question.  A two-layer MLP with ReLU and
+softmax cross-entropy is the smallest such learner; it is implemented
+from scratch (forward, backward, SGD with momentum) with deterministic
+initialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["MLPClassifier"]
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier:
+    """input -> ReLU(hidden) -> softmax, trained with momentum SGD."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        hidden_dim: int = 64,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        if input_dim < 1 or num_classes < 2 or hidden_dim < 1:
+            raise ConfigError("bad MLP dimensions")
+        if not 0 < learning_rate:
+            raise ConfigError("learning_rate must be positive")
+        if not 0 <= momentum < 1:
+            raise ConfigError("momentum in [0, 1)")
+        rng = np.random.default_rng(seed)
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        self.lr = learning_rate
+        self.momentum = momentum
+        # He initialization for the ReLU layer.
+        self.w1 = rng.normal(0, np.sqrt(2.0 / input_dim), (input_dim, hidden_dim))
+        self.b1 = np.zeros(hidden_dim)
+        self.w2 = rng.normal(0, np.sqrt(2.0 / hidden_dim), (hidden_dim, num_classes))
+        self.b2 = np.zeros(num_classes)
+        self._vel = [np.zeros_like(p) for p in (self.w1, self.b1, self.w2, self.b2)]
+
+    # -- inference --------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """-> (hidden activations, class probabilities)."""
+        h = np.maximum(x @ self.w1 + self.b1, 0.0)
+        return h, _softmax(h @ self.w2 + self.b2)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)[1].argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == y).mean())
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        _, probs = self.forward(x)
+        eps = 1e-12
+        return float(-np.log(probs[np.arange(len(y)), y] + eps).mean())
+
+    # -- training ----------------------------------------------------------------
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One SGD minibatch step; returns the batch loss."""
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ConfigError(f"expected (*, {self.input_dim}) inputs")
+        n = len(x)
+        h, probs = self.forward(x)
+        eps = 1e-12
+        batch_loss = float(-np.log(probs[np.arange(n), y] + eps).mean())
+
+        # Backward pass.
+        dz2 = probs.copy()
+        dz2[np.arange(n), y] -= 1.0
+        dz2 /= n
+        dw2 = h.T @ dz2
+        db2 = dz2.sum(axis=0)
+        dh = dz2 @ self.w2.T
+        dh[h <= 0.0] = 0.0
+        dw1 = x.T @ dh
+        db1 = dh.sum(axis=0)
+
+        params = (self.w1, self.b1, self.w2, self.b2)
+        grads = (dw1, db1, dw2, db2)
+        for p, g, v in zip(params, grads, self._vel):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+        return batch_loss
+
+    def __repr__(self) -> str:
+        return (
+            f"<MLPClassifier {self.input_dim}->{self.w1.shape[1]}->"
+            f"{self.num_classes}>"
+        )

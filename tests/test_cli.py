@@ -1,0 +1,48 @@
+"""Tests for the CLI entry point."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestList:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_registry_complete(self):
+        assert set(FIGURES) == {
+            "fig01", "fig06", "fig07a", "fig07b", "fig08", "fig09",
+            "fig10", "fig11", "fig12", "fig13",
+        }
+
+
+class TestFigure:
+    def test_runs_fig01_and_prints_table(self, capsys):
+        assert main(["figure", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "ImageNet" in out
+        assert "paper vs measured" in out
+
+    def test_writes_output_file(self, tmp_path, capsys):
+        assert main(["figure", "fig01", "--out", str(tmp_path)]) == 0
+        written = tmp_path / "fig01.txt"
+        assert written.exists()
+        assert "IMDB" in written.read_text()
+
+    def test_scaled_figure_runs(self, capsys):
+        assert main(["figure", "fig13", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Full_Rand" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

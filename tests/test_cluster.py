@@ -1,0 +1,175 @@
+"""Unit tests for nodes, clusters, and collectives."""
+
+import pytest
+
+from repro.cluster import Cluster, Communicator
+from repro.errors import ConfigError
+from repro.hw import GB, KB, NetworkSpec, Testbed
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_cluster(env, n, devices=1, bandwidth=1 * GB, latency=1e-6):
+    testbed = Testbed.paper_emulated()
+    testbed = Testbed(
+        cpu=testbed.cpu,
+        os=testbed.os,
+        nvme=testbed.nvme,
+        network=NetworkSpec(bandwidth=bandwidth, propagation_latency=latency),
+    )
+    return Cluster(env, testbed, num_nodes=n, devices_per_node=devices)
+
+
+class TestClusterConstruction:
+    def test_nodes_and_devices(self, env):
+        cluster = make_cluster(env, 4, devices=2)
+        assert len(cluster) == 4
+        assert len(cluster.all_devices()) == 8
+        assert cluster.node(0).name == "node0"
+
+    def test_zero_devices_allowed(self, env):
+        cluster = make_cluster(env, 2, devices=0)
+        assert cluster.all_devices() == []
+
+    def test_single_device_property(self, env):
+        cluster = make_cluster(env, 1, devices=1)
+        assert cluster.node(0).device is cluster.node(0).devices[0]
+
+    def test_device_property_rejects_multi(self, env):
+        cluster = make_cluster(env, 1, devices=2)
+        with pytest.raises(ConfigError):
+            cluster.node(0).device
+
+    def test_node_index_bounds(self, env):
+        cluster = make_cluster(env, 2)
+        with pytest.raises(ConfigError):
+            cluster.node(2)
+
+    def test_min_one_node(self, env):
+        with pytest.raises(ConfigError):
+            Cluster(env, num_nodes=0)
+
+    def test_nodes_attached_to_fabric(self, env):
+        cluster = make_cluster(env, 3)
+        for node in cluster:
+            assert cluster.fabric.nic(node.name) is node.nic
+
+    def test_iteration_order(self, env):
+        cluster = make_cluster(env, 3)
+        assert [n.index for n in cluster] == [0, 1, 2]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8])
+    def test_barrier_completes(self, env, n):
+        cluster = make_cluster(env, n)
+        comm = Communicator(cluster)
+
+        def proc(env):
+            yield from comm.barrier()
+            return env.now
+
+        t = env.run(until=env.process(proc(env)))
+        assert t >= 0.0
+
+    def test_barrier_single_node_is_free(self, env):
+        comm = Communicator(make_cluster(env, 1))
+
+        def proc(env):
+            yield from comm.barrier()
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == 0.0
+
+    def test_barrier_cost_grows_logarithmically(self):
+        times = {}
+        for n in (2, 4, 8, 16):
+            env = Environment()
+            comm = Communicator(make_cluster(env, n))
+
+            def proc(env, comm=comm):
+                yield from comm.barrier()
+                return env.now
+
+            times[n] = env.run(until=env.process(proc(env)))
+        # rounds: 1, 2, 3, 4 -> roughly linear in log2(P)
+        assert times[4] > times[2]
+        assert times[16] > times[8]
+        assert times[16] < times[2] * 8  # far sub-linear in P
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_all_ranks_receive_value(self, env, root):
+        comm = Communicator(make_cluster(env, 4))
+
+        def proc(env):
+            out = yield from comm.broadcast(root, "payload", 1 * KB)
+            return out
+
+        assert env.run(until=env.process(proc(env))) == ["payload"] * 4
+
+    def test_invalid_root(self, env):
+        comm = Communicator(make_cluster(env, 2))
+        with pytest.raises(ConfigError):
+            list(comm.broadcast(5, "x", 10))
+
+    def test_broadcast_single_node(self, env):
+        comm = Communicator(make_cluster(env, 1))
+
+        def proc(env):
+            return (yield from comm.broadcast(0, 42, 8))
+
+        assert env.run(until=env.process(proc(env))) == [42]
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_everyone_gets_everything_in_rank_order(self, env, n):
+        comm = Communicator(make_cluster(env, n))
+        values = [f"tree-{r}" for r in range(n)]
+
+        def proc(env):
+            out = yield from comm.allgather(values, [1 * KB] * n)
+            return out
+
+        gathered = env.run(until=env.process(proc(env)))
+        assert len(gathered) == n
+        for per_rank in gathered:
+            assert per_rank == values
+
+    def test_wrong_contribution_count_rejected(self, env):
+        comm = Communicator(make_cluster(env, 4))
+        with pytest.raises(ConfigError):
+            list(comm.allgather(["a"], [10]))
+
+    def test_cost_scales_with_payload(self):
+        def run(nbytes):
+            env = Environment()
+            comm = Communicator(make_cluster(env, 4))
+
+            def proc(env, comm=comm):
+                yield from comm.allgather(["x"] * 4, [nbytes] * 4)
+                return env.now
+
+            return env.run(until=env.process(proc(env)))
+
+        small, large = run(1 * KB), run(10_000 * KB)
+        assert large > small * 10
+
+    def test_ring_time_model(self, env):
+        """P-1 steps, each ~ (latency + seg/bw), ring steps overlap fully."""
+        comm = Communicator(make_cluster(env, 4, bandwidth=1 * GB, latency=0.0))
+        seg = 100 * 1024 * 1024  # 100 MiB
+
+        def proc(env):
+            yield from comm.allgather(["x"] * 4, [seg] * 4)
+            return env.now
+
+        t = env.run(until=env.process(proc(env)))
+        expected = 3 * seg / (1 * GB)
+        assert t == pytest.approx(expected, rel=0.05)

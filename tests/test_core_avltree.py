@@ -1,0 +1,174 @@
+"""Unit + property tests for the AVL tree."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AVLTree
+from repro.errors import DirectoryError
+
+
+class TestBasics:
+    def test_empty(self):
+        t = AVLTree()
+        assert len(t) == 0
+        assert t.height == 0
+        assert t.search(5) == ([], 0)
+        assert 5 not in t
+
+    def test_insert_search(self):
+        t = AVLTree()
+        t.insert(10, "a")
+        payloads, visits = t.search(10)
+        assert payloads == ["a"]
+        assert visits == 1
+        assert 10 in t
+
+    def test_duplicate_keys_chain(self):
+        t = AVLTree()
+        t.insert(5, "x")
+        t.insert(5, "y")
+        assert len(t) == 2
+        assert t.num_nodes == 1
+        assert t.search(5)[0] == ["x", "y"]
+
+    def test_min_max(self):
+        t = AVLTree()
+        for k in (5, 1, 9, 3):
+            t.insert(k, k)
+        assert t.min_key() == 1
+        assert t.max_key() == 9
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(DirectoryError):
+            AVLTree().min_key()
+        with pytest.raises(DirectoryError):
+            AVLTree().max_key()
+
+    def test_items_in_order(self):
+        t = AVLTree()
+        keys = [8, 3, 10, 1, 6, 14, 4, 7, 13]
+        for k in keys:
+            t.insert(k, f"p{k}")
+        assert [k for k, _ in t.items()] == sorted(keys)
+        assert list(t.keys()) == sorted(keys)
+
+    def test_delete_leaf_and_internal(self):
+        t = AVLTree()
+        for k in (5, 3, 8, 1, 4, 7, 9):
+            t.insert(k, k)
+        assert t.delete(1) == [1]  # leaf
+        assert t.delete(5) == [5]  # internal with two children
+        assert 1 not in t and 5 not in t
+        assert sorted(k for k, _ in t.items()) == [3, 4, 7, 8, 9]
+        t.check_invariants()
+
+    def test_delete_missing_raises(self):
+        t = AVLTree()
+        t.insert(1, "a")
+        with pytest.raises(DirectoryError):
+            t.delete(2)
+
+    def test_delete_chained_removes_all(self):
+        t = AVLTree()
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert sorted(t.delete(1)) == ["a", "b"]
+        assert len(t) == 0
+
+
+class TestBalance:
+    def test_sequential_insert_stays_logarithmic(self):
+        """Worst case for a naive BST: ascending inserts."""
+        t = AVLTree()
+        n = 2048
+        for k in range(n):
+            t.insert(k, k)
+        t.check_invariants()
+        # AVL height bound: 1.44 * log2(n + 2).
+        assert t.height <= 1.44 * math.log2(n + 2)
+
+    def test_search_visits_bounded_by_height(self):
+        t = AVLTree()
+        for k in range(1000):
+            t.insert(k, k)
+        for k in (0, 500, 999):
+            _, visits = t.search(k)
+            assert visits <= t.height
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_after_random_inserts(self, keys):
+        t = AVLTree()
+        for k in keys:
+            t.insert(k, k)
+        t.check_invariants()
+        assert len(t) == len(keys)
+        assert [k for k, _ in t.items()] == sorted(keys)
+
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=150, unique=True),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_after_random_deletes(self, keys, data):
+        t = AVLTree()
+        for k in keys:
+            t.insert(k, k)
+        to_delete = data.draw(
+            st.lists(st.sampled_from(keys), unique=True, max_size=len(keys))
+        )
+        for k in to_delete:
+            t.delete(k)
+            t.check_invariants()
+        remaining = sorted(set(keys) - set(to_delete))
+        assert [k for k, _ in t.items()] == remaining
+
+
+class TestBulkBuild:
+    def test_build_sorted_matches_incremental(self):
+        keys = sorted([7, 1, 9, 3, 3, 12])
+        bulk = AVLTree.build_sorted(keys, [f"p{k}" for k in keys])
+        bulk.check_invariants()
+        assert len(bulk) == len(keys)
+        assert [k for k, _ in bulk.items()] == keys
+
+    def test_build_sorted_perfectly_balanced(self):
+        n = 1 << 12
+        t = AVLTree.build_sorted(list(range(n)), list(range(n)))
+        t.check_invariants()
+        assert t.height <= math.ceil(math.log2(n + 1))
+
+    def test_build_sorted_duplicates_chain(self):
+        t = AVLTree.build_sorted([1, 1, 2], ["a", "b", "c"])
+        assert t.search(1)[0] == ["a", "b"]
+        assert t.num_nodes == 2
+
+    def test_build_sorted_rejects_unsorted(self):
+        with pytest.raises(DirectoryError):
+            AVLTree.build_sorted([2, 1], ["a", "b"])
+
+    def test_build_sorted_rejects_misaligned(self):
+        with pytest.raises(DirectoryError):
+            AVLTree.build_sorted([1, 2], ["a"])
+
+    def test_build_empty(self):
+        t = AVLTree.build_sorted([], [])
+        assert len(t) == 0
+
+    def test_insert_after_bulk_build(self):
+        t = AVLTree.build_sorted([10, 20, 30], ["a", "b", "c"])
+        t.insert(15, "d")
+        t.check_invariants()
+        assert [k for k, _ in t.items()] == [10, 15, 20, 30]
+
+    def test_million_entry_height(self):
+        """Directory-scale sanity: 1 M keys, ~20-level lookups."""
+        n = 1_000_000
+        keys = np.arange(n).tolist()
+        t = AVLTree.build_sorted(keys, keys)
+        assert t.height == 20
+        _, visits = t.search(123_456)
+        assert visits <= 20

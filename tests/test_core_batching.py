@@ -1,0 +1,199 @@
+"""Unit + property tests for chunk plans, epochs, and the DLFS ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ChunkEpoch, ChunkPlan, delivery_order
+from repro.core.batching import REQ_CHUNK, REQ_EDGE
+from repro.data import Dataset, DatasetLayout, imagenet_like, imdb_like
+from repro.errors import ConfigError
+
+
+def make_plan(n=2000, shards=4, chunk=64 * 1024, dist=None, seed=0):
+    dist = dist or imdb_like()
+    ds = Dataset.synthetic("d", n, dist, seed=seed)
+    layout = DatasetLayout(ds, num_shards=shards)
+    return ds, layout, ChunkPlan(layout, chunk)
+
+
+class TestChunkPlan:
+    def test_chunk_count_covers_shards(self):
+        ds, layout, plan = make_plan()
+        for s in range(4):
+            expect = -(-layout.shard_bytes(s) // plan.chunk_bytes)
+            assert plan.chunks_per_shard[s] == expect
+
+    def test_every_sample_classified(self):
+        ds, layout, plan = make_plan()
+        interior = set()
+        for g in range(plan.num_chunks):
+            interior.update(plan.chunk_members[g].tolist())
+        edges = set(plan.edge_samples.tolist())
+        assert interior | edges == set(range(ds.num_samples))
+        assert interior & edges == set()
+
+    def test_interior_samples_fit_their_chunk(self):
+        ds, layout, plan = make_plan()
+        for g in range(plan.num_chunks):
+            shard, c_off, c_len = plan.chunk_span(g)
+            for i in plan.chunk_members[g]:
+                loc = layout.location(int(i))
+                assert loc.shard == shard
+                assert c_off <= loc.offset
+                assert loc.end <= c_off + c_len
+
+    def test_edge_samples_cross_boundaries(self):
+        ds, layout, plan = make_plan()
+        base = layout.base_offset
+        for i in plan.edge_samples:
+            loc = layout.location(int(i))
+            first = (loc.offset - base) // plan.chunk_bytes
+            last = (loc.end - 1 - base) // plan.chunk_bytes
+            assert first != last
+
+    def test_chunk_span_clipped_at_shard_end(self):
+        ds, layout, plan = make_plan()
+        for s in range(4):
+            last_gid = int(plan._gid_base[s] + plan.chunks_per_shard[s] - 1)
+            _, offset, nbytes = plan.chunk_span(last_gid)
+            start, end = layout.shard_extent(s)
+            assert offset + nbytes == end
+
+    def test_access_list_has_first_member_key(self):
+        ds, layout, plan = make_plan()
+        keys = np.arange(ds.num_samples, dtype=np.uint64) * 7
+        entries = plan.access_list_entries(keys)
+        for gid, key in entries:
+            first = int(plan.chunk_members[gid][0])
+            assert key == int(keys[first])
+
+    def test_large_samples_mostly_edges(self):
+        """Samples bigger than a chunk can never be interior."""
+        ds, layout, plan = make_plan(n=200, chunk=4096, dist=imagenet_like())
+        big = np.flatnonzero(ds.sizes > plan.chunk_bytes)
+        assert set(big.tolist()) <= set(plan.edge_samples.tolist())
+
+    def test_bad_chunk_bytes(self):
+        ds = Dataset.fixed("d", 10, 100)
+        layout = DatasetLayout(ds, num_shards=1)
+        with pytest.raises(ConfigError):
+            ChunkPlan(layout, 1000)  # unaligned
+        with pytest.raises(ConfigError):
+            ChunkPlan(layout, 2048)  # too small
+
+    @given(
+        n=st.integers(50, 500),
+        shards=st.integers(1, 6),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_classification_is_exact_cover(self, n, shards, seed):
+        ds, layout, plan = make_plan(n=n, shards=shards, seed=seed)
+        interior = sum(len(plan.chunk_members[g]) for g in range(plan.num_chunks))
+        assert interior + plan.num_edge_samples == n
+
+
+class TestChunkEpoch:
+    def test_same_seed_same_lists(self):
+        _, _, plan = make_plan()
+        a, b = ChunkEpoch(plan, seed=9), ChunkEpoch(plan, seed=9)
+        assert (a.chunk_list == b.chunk_list).all()
+        assert (a.edge_list == b.edge_list).all()
+
+    def test_lists_are_permutations(self):
+        _, _, plan = make_plan()
+        e = ChunkEpoch(plan, seed=1)
+        assert sorted(e.chunk_list.tolist()) == plan.nonempty_chunks().tolist()
+        assert sorted(e.edge_list.tolist()) == sorted(plan.edge_samples.tolist())
+
+    def test_rank_partition_covers_all(self):
+        _, _, plan = make_plan()
+        e = ChunkEpoch(plan, seed=2, num_ranks=3)
+        chunks = np.concatenate([e.rank_chunks(r) for r in range(3)])
+        assert sorted(chunks.tolist()) == sorted(e.chunk_list.tolist())
+        edges = np.concatenate([e.rank_edges(r) for r in range(3)])
+        assert sorted(edges.tolist()) == sorted(e.edge_list.tolist())
+
+    def test_rank_sample_count(self):
+        ds, _, plan = make_plan()
+        e = ChunkEpoch(plan, seed=3, num_ranks=2)
+        total = e.rank_sample_count(0) + e.rank_sample_count(1)
+        assert total == ds.num_samples
+
+    def test_rank_bounds(self):
+        _, _, plan = make_plan()
+        e = ChunkEpoch(plan, seed=0, num_ranks=2)
+        with pytest.raises(ConfigError):
+            e.rank_chunks(2)
+
+
+class TestDeliveryOrder:
+    def test_covers_rank_exactly_once(self):
+        ds, _, plan = make_plan()
+        e = ChunkEpoch(plan, seed=4, num_ranks=2)
+        d = delivery_order(plan, e.rank_chunks(0), e.rank_edges(0), seed=11)
+        expected = set()
+        for g in e.rank_chunks(0):
+            expected.update(plan.chunk_members[int(g)].tolist())
+        expected.update(int(x) for x in e.rank_edges(0))
+        assert sorted(d.order.tolist()) == sorted(expected)
+        assert len(set(d.order.tolist())) == len(d.order)
+
+    def test_requirements_match_samples(self):
+        ds, _, plan = make_plan()
+        e = ChunkEpoch(plan, seed=4)
+        d = delivery_order(plan, e.rank_chunks(0), e.rank_edges(0), seed=11)
+        for i in range(len(d)):
+            s = int(d.order[i])
+            if d.req_kind[i] == REQ_CHUNK:
+                assert plan.sample_chunk[s] == d.req_id[i]
+            else:
+                assert d.req_kind[i] == REQ_EDGE
+                assert d.req_id[i] == s
+                assert plan.sample_chunk[s] == -1
+
+    def test_window_limits_concurrent_chunks(self):
+        """At any point, samples come only from <= window open chunks."""
+        ds, _, plan = make_plan()
+        e = ChunkEpoch(plan, seed=5)
+        window = 3
+        d = delivery_order(plan, e.rank_chunks(0), e.rank_edges(0), seed=6,
+                           window=window)
+        open_chunks: dict[int, int] = {}
+        for i in range(len(d)):
+            if d.req_kind[i] != REQ_CHUNK:
+                continue
+            g = int(d.req_id[i])
+            open_chunks[g] = open_chunks.get(g, 0) + 1
+            live = [
+                gid for gid, seen in open_chunks.items()
+                if seen < len(plan.chunk_members[gid])
+            ]
+            assert len(live) <= window
+
+    def test_order_is_shuffled_not_sequential(self):
+        ds, _, plan = make_plan(n=5000)
+        e = ChunkEpoch(plan, seed=6)
+        d = delivery_order(plan, e.rank_chunks(0), e.rank_edges(0), seed=7)
+        # Not the identity: plenty of inversions.
+        inversions = (np.diff(d.order) < 0).mean()
+        assert inversions > 0.2
+
+    def test_deterministic_per_seed(self):
+        ds, _, plan = make_plan()
+        e = ChunkEpoch(plan, seed=6)
+        d1 = delivery_order(plan, e.rank_chunks(0), e.rank_edges(0), seed=7)
+        d2 = delivery_order(plan, e.rank_chunks(0), e.rank_edges(0), seed=7)
+        assert (d1.order == d2.order).all()
+
+    def test_empty_inputs(self):
+        ds, _, plan = make_plan()
+        d = delivery_order(plan, np.array([], dtype=np.int64),
+                           np.array([], dtype=np.int64), seed=0)
+        assert len(d) == 0
+
+    def test_window_validation(self):
+        ds, _, plan = make_plan()
+        with pytest.raises(ConfigError):
+            delivery_order(plan, np.array([0]), np.array([]), seed=0, window=0)

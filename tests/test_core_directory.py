@@ -1,0 +1,232 @@
+"""Unit tests for the sample directory, V bits, and collective aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, Communicator
+from repro.core import (
+    GlobalSequence,
+    LocalValidBits,
+    SampleDirectory,
+    aggregate_directory,
+)
+from repro.core.directory import ENTRY_BYTES
+from repro.data import Dataset, DatasetLayout, imagenet_like
+from repro.errors import ConfigError, DirectoryError, FileNotFound
+from repro.hw import Testbed
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    ds = Dataset.synthetic("img", 400, imagenet_like(), seed=3)
+    layout = DatasetLayout(ds, num_shards=4)
+    directory = SampleDirectory(ds, layout)
+    directory.build_all_shards()
+    return ds, layout, directory
+
+
+class TestConstruction:
+    def test_mismatched_layout_rejected(self):
+        ds1 = Dataset.fixed("a", 10, 100)
+        ds2 = Dataset.fixed("b", 10, 100)
+        layout = DatasetLayout(ds2, num_shards=1)
+        with pytest.raises(DirectoryError):
+            SampleDirectory(ds1, layout)
+
+    def test_incomplete_until_all_shards_built(self):
+        ds = Dataset.fixed("d", 40, 100)
+        layout = DatasetLayout(ds, num_shards=4)
+        directory = SampleDirectory(ds, layout)
+        assert not directory.is_complete
+        directory.build_shard(0)
+        assert not directory.is_complete
+        with pytest.raises(DirectoryError):
+            directory.tree(1)
+        for s in range(1, 4):
+            directory.build_shard(s)
+        assert directory.is_complete
+
+    def test_tree_sizes_match_shards(self, rig):
+        ds, layout, directory = rig
+        for s in range(4):
+            assert len(directory.tree(s)) == len(layout.shard_samples(s))
+
+    def test_trees_are_balanced(self, rig):
+        _, _, directory = rig
+        for s in range(4):
+            directory.tree(s).check_invariants()
+
+    def test_entry_memory_accounting(self, rig):
+        ds, layout, directory = rig
+        assert directory.entry_bytes == 400 * ENTRY_BYTES
+        total = sum(directory.shard_entry_bytes(s) for s in range(4))
+        assert total == directory.entry_bytes
+
+    def test_paper_memory_claim(self):
+        """§III-B2: 50 M samples -> 0.8 GB of directory."""
+        assert 50_000_000 * ENTRY_BYTES == 800_000_000
+
+
+class TestLookup:
+    def test_lookup_index_resolves_location(self, rig):
+        ds, layout, directory = rig
+        for i in (0, 123, 399):
+            res = directory.lookup_index(i)
+            loc = layout.location(i)
+            assert res.sample_index == i
+            assert res.shard == loc.shard
+            assert res.offset == loc.offset
+            assert res.length == loc.length
+            assert res.visits >= 1
+
+    def test_lookup_visits_bounded_by_tree_height(self, rig):
+        _, _, directory = rig
+        res = directory.lookup_index(50)
+        assert res.visits <= directory.tree(res.shard).height
+
+    def test_lookup_index_out_of_range(self, rig):
+        _, _, directory = rig
+        with pytest.raises(FileNotFound):
+            directory.lookup_index(400)
+
+    def test_lookup_name_resolves(self, rig):
+        ds, _, directory = rig
+        res = directory.lookup_name(ds.sample_name(42))
+        assert res.sample_index == 42
+
+    def test_lookup_name_missing(self, rig):
+        _, _, directory = rig
+        with pytest.raises(FileNotFound):
+            directory.lookup_name("img/99999999")
+
+    def test_all_samples_resolvable(self, rig):
+        ds, _, directory = rig
+        for i in range(ds.num_samples):
+            assert directory.lookup_index(i).sample_index == i
+
+
+class TestValidBits:
+    def test_initially_all_invalid(self, rig):
+        _, _, directory = rig
+        v = LocalValidBits(directory)
+        assert v.valid_count == 0
+        assert not v.is_valid(0)
+
+    def test_set_clear(self, rig):
+        _, _, directory = rig
+        v = LocalValidBits(directory)
+        v.set_valid(5)
+        assert v.is_valid(5) and v.valid_count == 1
+        v.clear_valid(5)
+        assert not v.is_valid(5)
+
+    def test_bulk_ops(self, rig):
+        _, _, directory = rig
+        v = LocalValidBits(directory)
+        v.set_valid_many(np.array([1, 2, 3]))
+        assert v.valid_count == 3
+        v.clear_valid_many([2, 3])
+        assert v.valid_count == 1
+
+    def test_replicas_have_independent_v_bits(self, rig):
+        _, _, directory = rig
+        v0, v1 = LocalValidBits(directory), LocalValidBits(directory)
+        v0.set_valid(7)
+        assert not v1.is_valid(7)
+
+
+class TestAggregation:
+    def test_aggregate_completes_directory(self):
+        env = Environment()
+        cluster = Cluster(env, Testbed.paper_emulated(), num_nodes=4)
+        comm = Communicator(cluster)
+        ds = Dataset.fixed("d", 100, 1000)
+        layout = DatasetLayout(ds, num_shards=4)
+        directory = SampleDirectory(ds, layout)
+
+        def proc(env):
+            result = yield from aggregate_directory(comm, directory)
+            return (result.is_complete, env.now)
+
+        complete, elapsed = env.run(until=env.process(proc(env)))
+        assert complete
+        assert elapsed > 0  # allgather moved real simulated bytes
+
+    def test_aggregate_size_mismatch_rejected(self):
+        env = Environment()
+        cluster = Cluster(env, Testbed.paper_emulated(), num_nodes=2)
+        comm = Communicator(cluster)
+        ds = Dataset.fixed("d", 100, 1000)
+        layout = DatasetLayout(ds, num_shards=4)
+        directory = SampleDirectory(ds, layout)
+        with pytest.raises(DirectoryError):
+            list(aggregate_directory(comm, directory))
+
+    def test_aggregation_cost_scales_with_entries(self):
+        def run(n_samples):
+            env = Environment()
+            cluster = Cluster(env, Testbed.paper_emulated(), num_nodes=4)
+            comm = Communicator(cluster)
+            ds = Dataset.fixed("d", n_samples, 1000)
+            layout = DatasetLayout(ds, num_shards=4)
+            directory = SampleDirectory(ds, layout)
+
+            def proc(env):
+                yield from aggregate_directory(comm, directory)
+                return env.now
+
+            return env.run(until=env.process(proc(env)))
+
+        small, large = run(1000), run(100_000)
+        assert large > small
+
+
+class TestGlobalSequence:
+    def test_same_seed_same_order(self):
+        a = GlobalSequence(1000, seed=5, num_ranks=4)
+        b = GlobalSequence(1000, seed=5, num_ranks=4)
+        assert (a.order == b.order).all()
+
+    def test_different_seed_different_order(self):
+        a = GlobalSequence(1000, seed=5)
+        b = GlobalSequence(1000, seed=6)
+        assert (a.order != b.order).any()
+
+    def test_order_is_permutation(self):
+        s = GlobalSequence(500, seed=1)
+        assert sorted(s.order.tolist()) == list(range(500))
+
+    def test_rank_portions_partition_each_batch(self):
+        s = GlobalSequence(1024, seed=2, num_ranks=4, batch_per_rank=8)
+        batch = s.batch_slice(3)
+        portions = [s.rank_portion(3, r) for r in range(4)]
+        assert np.concatenate(portions).tolist() == batch.tolist()
+
+    def test_epoch_order_for_rank_consistent_with_portions(self):
+        s = GlobalSequence(1024, seed=2, num_ranks=4, batch_per_rank=8)
+        epoch = s.epoch_order_for_rank(1)
+        manual = np.concatenate(
+            [s.rank_portion(b, 1) for b in range(s.num_batches)]
+        )
+        assert (epoch == manual).all()
+
+    def test_epoch_covers_all_samples_across_ranks(self):
+        s = GlobalSequence(640, seed=3, num_ranks=4, batch_per_rank=8)
+        combined = np.concatenate(
+            [s.epoch_order_for_rank(r) for r in range(4)]
+        )
+        assert sorted(combined.tolist()) == list(range(640))
+
+    def test_drop_remainder(self):
+        s = GlobalSequence(100, seed=0, num_ranks=3, batch_per_rank=8)
+        assert s.num_batches == 100 // 24
+
+    def test_bounds(self):
+        s = GlobalSequence(100, seed=0, num_ranks=2, batch_per_rank=8)
+        with pytest.raises(ConfigError):
+            s.batch_slice(s.num_batches)
+        with pytest.raises(ConfigError):
+            s.rank_portion(0, 2)
+        with pytest.raises(ConfigError):
+            GlobalSequence(0, seed=0)

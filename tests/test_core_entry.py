@@ -1,0 +1,153 @@
+"""Unit + property tests for 128-bit entry packing and name hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.entry import (
+    MAX_KEY,
+    MAX_LEN,
+    MAX_NID,
+    MAX_OFFSET,
+    fnv1a_48,
+    fnv1a_64,
+    hash_sample_name,
+    hash_sample_names,
+    len_of,
+    nid_of,
+    key_of,
+    offset_of,
+    pack_entries,
+    pack_unit1,
+    pack_unit2,
+    unpack_unit1,
+    unpack_unit2,
+    v_of,
+    with_v,
+)
+from repro.errors import EntryFormatError
+
+
+class TestScalarPacking:
+    @given(
+        nid=st.integers(0, MAX_NID),
+        key=st.integers(0, MAX_KEY),
+    )
+    def test_unit1_roundtrip(self, nid, key):
+        unit1 = pack_unit1(nid, key)
+        assert 0 <= unit1 < 2**64
+        assert unpack_unit1(unit1) == (nid, key)
+        assert nid_of(unit1) == nid and key_of(unit1) == key
+
+    @given(
+        offset=st.integers(0, MAX_OFFSET),
+        length=st.integers(1, MAX_LEN),
+        v=st.booleans(),
+    )
+    def test_unit2_roundtrip(self, offset, length, v):
+        unit2 = pack_unit2(offset, length, v)
+        assert 0 <= unit2 < 2**64
+        assert unpack_unit2(unit2) == (offset, length, v)
+        assert offset_of(unit2) == offset
+        assert len_of(unit2) == length
+        assert v_of(unit2) == v
+
+    def test_entry_is_exactly_128_bits(self):
+        """The paper's memory math: 16 bytes per entry, 0.8 GB for 50 M."""
+        unit1 = pack_unit1(MAX_NID, MAX_KEY)
+        unit2 = pack_unit2(MAX_OFFSET, MAX_LEN, True)
+        assert unit1 == 2**64 - 1
+        assert unit2 == 2**64 - 1
+        per_entry = 16
+        assert 50_000_000 * per_entry == pytest.approx(0.8e9, rel=0.01)
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(EntryFormatError):
+            pack_unit1(MAX_NID + 1, 0)
+        with pytest.raises(EntryFormatError):
+            pack_unit1(0, MAX_KEY + 1)
+        with pytest.raises(EntryFormatError):
+            pack_unit2(MAX_OFFSET + 1, 1)
+        with pytest.raises(EntryFormatError):
+            pack_unit2(0, MAX_LEN + 1)
+        with pytest.raises(EntryFormatError):
+            pack_unit2(0, 0)  # zero length
+
+    def test_offset_field_covers_1tb(self):
+        assert MAX_OFFSET >= 10**12
+
+    def test_len_field_covers_8mb(self):
+        assert MAX_LEN >= 8 * 2**20 - 1
+
+    @given(
+        offset=st.integers(0, MAX_OFFSET),
+        length=st.integers(1, MAX_LEN),
+    )
+    def test_with_v_toggles_only_v(self, offset, length):
+        unit2 = pack_unit2(offset, length, False)
+        set_ = with_v(unit2, True)
+        assert v_of(set_) and offset_of(set_) == offset and len_of(set_) == length
+        cleared = with_v(set_, False)
+        assert cleared == unit2
+
+
+class TestVectorPacking:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        nids = rng.integers(0, MAX_NID + 1, n)
+        keys = rng.integers(0, MAX_KEY + 1, n)
+        offsets = rng.integers(0, MAX_OFFSET + 1, n)
+        lengths = rng.integers(1, MAX_LEN + 1, n)
+        u1, u2 = pack_entries(nids, keys, offsets, lengths)
+        for i in range(0, n, 37):
+            assert int(u1[i]) == pack_unit1(int(nids[i]), int(keys[i]))
+            assert int(u2[i]) == pack_unit2(int(offsets[i]), int(lengths[i]))
+
+    def test_vector_overflow_rejected(self):
+        ok = np.array([1])
+        with pytest.raises(EntryFormatError):
+            pack_entries(np.array([MAX_NID + 1]), ok, ok, ok)
+        with pytest.raises(EntryFormatError):
+            pack_entries(ok, ok, ok, np.array([0]))
+
+
+class TestHashing:
+    def test_fnv_vectors(self):
+        # Published FNV-1a test vectors.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+        assert fnv1a_64(b"foobar") == 0x85944171F73967E8
+
+    def test_fnv48_in_range(self):
+        for s in (b"", b"x", b"imagenet/00000001"):
+            assert 0 <= fnv1a_48(s) <= MAX_KEY
+
+    def test_hash_sample_name_deterministic(self):
+        assert hash_sample_name("d/000001") == hash_sample_name("d/000001")
+        assert hash_sample_name("d/000001") != hash_sample_name("d/000002")
+
+    def test_vectorized_matches_scalar(self):
+        indices = np.array([0, 7, 999, 54_321, 99_999_999])
+        keys, checks = hash_sample_names("cifar", indices)
+        for i, k, c in zip(indices, keys, checks):
+            sk, sc = hash_sample_name(f"cifar/{int(i):08d}")
+            assert (sk, sc) == (int(k), int(c))
+
+    @given(st.integers(0, 99_999_999))
+    @settings(max_examples=50)
+    def test_vectorized_matches_scalar_property(self, idx):
+        keys, checks = hash_sample_names("ds", np.array([idx]))
+        sk, sc = hash_sample_name(f"ds/{idx:08d}")
+        assert (int(keys[0]), int(checks[0])) == (sk, sc)
+
+    def test_vectorized_range_guard(self):
+        with pytest.raises(EntryFormatError):
+            hash_sample_names("d", np.array([100_000_000]))
+
+    def test_key_distribution_roughly_uniform(self):
+        keys, _ = hash_sample_names("imagenet", np.arange(100_000))
+        # Bucket into 16 bins; each should get ~1/16 of the keys.
+        bins = np.bincount((keys >> np.uint64(44)).astype(int), minlength=16)
+        assert bins.min() > 0.8 * 100_000 / 16
+        assert bins.max() < 1.2 * 100_000 / 16

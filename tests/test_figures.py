@@ -1,0 +1,172 @@
+"""Scaled-down shape tests for every figure experiment.
+
+The benchmarks run these at paper scale; here each figure runs on a
+small workload and we assert the qualitative shape the paper reports
+(orderings, crossovers, monotonicity) with generous bands.
+"""
+
+import pytest
+
+from repro.bench import (
+    fig01_size_distribution,
+    fig06_single_node_throughput,
+    fig07a_core_scaling,
+    fig07b_compute_overlap,
+    fig08_throughput_16_nodes,
+    fig09_scalability,
+    fig10_lookup_time,
+    fig11_disaggregation,
+    fig12_tensorflow,
+    fig13_training_accuracy,
+    format_quantity,
+    render_figure,
+)
+from repro.hw import KB
+
+
+class TestFig01:
+    def test_cdf_shapes(self):
+        r = fig01_size_distribution(num_samples=50_000)
+        for series in r.series.values():
+            values = [series[x] for x in sorted(series)]
+            assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+            assert values[-1] == pytest.approx(1.0, abs=0.01)
+        _, p75_img = r.headline["ImageNet: fraction of samples <= 147 KB"]
+        assert 0.72 <= p75_img <= 0.78
+
+
+class TestFig06:
+    def test_small_sample_ordering(self):
+        r = fig06_single_node_throughput(sizes=(512, 128 * KB), scale=0.25)
+        assert r.series["DLFS"][512] > r.series["Ext4-MC"][512]
+        assert r.series["Ext4-MC"][512] > r.series["DLFS-Base"][512]
+        assert r.series["DLFS-Base"][512] > r.series["Ext4-Base"][512]
+        # Large samples: everything converges, DLFS still ahead of the
+        # single-threaded baselines.
+        big = 128 * KB
+        assert r.series["DLFS"][big] > r.series["Ext4-Base"][big]
+        assert r.series["DLFS"][big] > r.series["DLFS-Base"][big]
+
+    def test_dlfs_base_beats_ext4_base_by_paper_margin(self):
+        r = fig06_single_node_throughput(sizes=(4 * KB,), scale=0.25)
+        _, ratio = r.headline["DLFS-Base / Ext4-Base (<=4KB), paper: >= 1.82x"]
+        assert ratio >= 1.5
+
+
+class TestFig07:
+    def test_dlfs_saturates_with_one_core(self):
+        r = fig07a_core_scaling(core_counts=(1, 3, 8), scale=0.3)
+        dlfs = r.series["DLFS"]
+        assert dlfs[1] >= 0.8 * max(dlfs.values())
+
+    def test_ext4_needs_multiple_cores(self):
+        r = fig07a_core_scaling(core_counts=(1, 3, 8), scale=0.3)
+        ext4 = r.series["Ext4"]
+        assert ext4[1] < 0.7 * max(ext4.values())
+        assert ext4[3] > 1.8 * ext4[1]
+
+    def test_compute_overlap_monotone_and_size_ordered(self):
+        r = fig07b_compute_overlap(
+            compute_points=(0.0, 1e-3, 3e-3), sizes=(16 * KB, 128 * KB),
+            scale=0.3,
+        )
+        big, mid = r.series[f"{128 * KB}B"], r.series[f"{16 * KB}B"]
+        assert big[1e-3] > mid[1e-3]  # larger batch I/O hides more compute
+        assert big[3e-3] < big[0.0]
+
+
+class TestFig08:
+    def test_dlfs_wins_everywhere(self):
+        r = fig08_throughput_16_nodes(sizes=(512, 128 * KB), num_nodes=4,
+                                      scale=0.25)
+        for size in (512, 128 * KB):
+            assert r.series["DLFS"][size] > r.series["Octopus"][size]
+            assert r.series["DLFS"][size] > r.series["Ext4"][size]
+
+    def test_small_sample_gap_is_an_order_of_magnitude(self):
+        r = fig08_throughput_16_nodes(sizes=(512,), num_nodes=4, scale=0.25)
+        assert r.series["DLFS"][512] > 8 * r.series["Ext4"][512]
+
+
+class TestFig09:
+    def test_scaling_and_orderings(self):
+        r = fig09_scalability(node_counts=(2, 4), sizes=(512,), scale=0.25)
+        dlfs = r.series["DLFS@512B"]
+        assert dlfs[4] > 1.5 * dlfs[2]
+        # Octopus worst at 512 B (cross-node lookups).
+        for n in (2, 4):
+            assert r.series["Octopus@512B"][n] < r.series["Ext4@512B"][n]
+
+
+class TestFig10:
+    def test_lookup_orderings_and_scaling(self):
+        r = fig10_lookup_time(node_counts=(2, 8), sizes=(512,),
+                              total_samples=60_000, scale=0.2)
+        dlfs, ext4, octo = (
+            r.series["DLFS@512B"], r.series["Ext4@512B"],
+            r.series["Octopus@512B"],
+        )
+        for n in (2, 8):
+            assert ext4[n] > 30 * dlfs[n]
+            assert octo[n] > ext4[n]
+        assert dlfs[2] / dlfs[8] == pytest.approx(4.0, rel=0.4)
+
+
+class TestFig11:
+    def test_single_client_flattens_many_clients_scale(self):
+        r = fig11_disaggregation(device_counts=(1, 4, 8), scale=0.3)
+        one = r.series["DLFS-1C"]
+        many = r.series["DLFS-16C"]
+        # 1 client: network-bound past 2 devices -> flat tail.
+        assert one[8] < one[4] * 1.4
+        # 16 clients: keeps growing with devices.
+        assert many[8] > 1.5 * many[1]
+        # Efficiency versus ideals.
+        _, eff1 = r.headline["DLFS-1C / ideal, paper: 93.4%"]
+        assert eff1 > 0.7
+
+
+class TestFig12:
+    def test_tf_orderings(self):
+        r = fig12_tensorflow(node_counts=(2, 4), sizes=(512,), scale=0.3)
+        for n in (2, 4):
+            assert (
+                r.series["DLFS-TF@512B"][n]
+                > r.series["Octopus-TF@512B"][n]
+                > r.series["Ext4-TF@512B"][n]
+            )
+
+
+class TestFig13:
+    def test_orderings_equally_good(self):
+        r = fig13_training_accuracy(epochs=12, num_samples=1200, scale=1.0)
+        _, gap = r.headline["final accuracy gap (Full_Rand - DLFS), paper: ~0"]
+        assert abs(gap) < 0.06
+        assert r.series["DLFS"][12] > 0.4
+
+
+class TestReporting:
+    def test_format_quantity(self):
+        assert format_quantity(0) == "0"
+        assert format_quantity(True) == "True"
+        assert format_quantity(1_500_000) == "1.5M"
+        assert format_quantity(2_500) == "2.5K"
+        assert format_quantity(0.002) == "2m"
+        assert format_quantity(3.5e-6) == "3.5u"
+        assert format_quantity(12.0) == "12"
+        assert format_quantity(2.5e9) == "2.5G"
+
+    def test_render_figure_contains_series_and_headline(self):
+        r = fig01_size_distribution(num_samples=10_000)
+        text = render_figure(r)
+        assert "fig01" in text
+        assert "ImageNet" in text and "IMDB" in text
+        assert "paper vs measured" in text
+
+    def test_render_limits_rows(self):
+        r = fig01_size_distribution(num_samples=10_000)
+        text = render_figure(r, max_rows=5)
+        data_lines = [
+            line for line in text.splitlines() if line.strip()[:1].isdigit()
+        ]
+        assert len(data_lines) <= 8

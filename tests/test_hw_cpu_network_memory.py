@@ -1,0 +1,361 @@
+"""Unit tests for CPU cores/threads, the RDMA fabric, and hugepage pool."""
+
+import pytest
+
+from repro.errors import AllocationError, ConfigError
+from repro.hw import CPU, BoundThread, CPUSpec, Fabric, GB, HugePagePool, KB, MB, NetworkSpec
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestCPU:
+    def test_core_count(self, env):
+        cpu = CPU(env, CPUSpec(cores=4))
+        assert len(cpu) == 4
+
+    def test_core_index_bounds(self, env):
+        cpu = CPU(env, CPUSpec(cores=2))
+        assert cpu.core(1).index == 1
+        with pytest.raises(ConfigError):
+            cpu.core(2)
+
+    def test_execute_occupies_core(self, env):
+        cpu = CPU(env, CPUSpec(cores=1))
+        done = []
+
+        def proc(env, tag):
+            yield from cpu.core(0).execute(1.0)
+            done.append((tag, env.now))
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_execute_zero_is_free(self, env):
+        cpu = CPU(env, CPUSpec(cores=1))
+
+        def proc(env):
+            yield from cpu.core(0).execute(0.0)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == 0.0
+
+    def test_negative_duration_rejected(self, env):
+        cpu = CPU(env, CPUSpec(cores=1))
+        with pytest.raises(ValueError):
+            list(cpu.core(0).execute(-1.0))
+
+    def test_memcpy_duration(self, env):
+        spec = CPUSpec(cores=1, memcpy_bandwidth=1 * GB)
+        cpu = CPU(env, spec)
+
+        def proc(env):
+            yield from cpu.core(0).memcpy(512 * MB)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == pytest.approx(0.5)
+
+    def test_utilization_mean_over_cores(self, env):
+        cpu = CPU(env, CPUSpec(cores=2))
+
+        def proc(env):
+            yield from cpu.core(0).execute(10.0)
+
+        env.process(proc(env))
+        env.run()
+        assert cpu.utilization() == pytest.approx(0.5)
+        assert cpu.busiest() is cpu.core(0)
+
+
+class TestBoundThread:
+    def test_pinned_thread_excludes_others(self, env):
+        """A busy-poll thread holding its core starves a second thread."""
+        cpu = CPU(env, CPUSpec(cores=1))
+        poller_done, other_done = [], []
+
+        def poller(env):
+            t = BoundThread(cpu.core(0), "poller")
+            yield from t.acquire()
+            yield from t.run(1.0)
+            yield from t.run(1.0)  # no release between segments
+            t.release()
+            poller_done.append(env.now)
+
+        def other(env):
+            yield from cpu.core(0).execute(0.5)
+            other_done.append(env.now)
+
+        env.process(poller(env))
+        env.process(other(env))
+        env.run()
+        assert poller_done == [2.0]
+        assert other_done == [2.5]  # only ran after the poller released
+
+    def test_block_releases_core_during_wait(self, env):
+        """A kernel-style blocked thread lets others use the core."""
+        cpu = CPU(env, CPUSpec(cores=1))
+        other_done = []
+        wake = env.event()
+
+        def blocker(env):
+            t = BoundThread(cpu.core(0), "blocker")
+            yield from t.acquire()
+            value = yield from t.block(wake)
+            t.release()
+            return (value, env.now)
+
+        def other(env):
+            yield env.timeout(0.1)
+            yield from cpu.core(0).execute(1.0)
+            other_done.append(env.now)
+            wake.succeed("io-done")
+
+        p = env.process(blocker(env))
+        env.process(other(env))
+        assert env.run(until=p) == ("io-done", 1.1)
+        assert other_done == [1.1]
+
+    def test_unpinned_run_contends_normally(self, env):
+        cpu = CPU(env, CPUSpec(cores=1))
+        t = BoundThread(cpu.core(0))
+
+        def proc(env):
+            yield from t.run(2.0)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == 2.0
+
+    def test_double_acquire_rejected(self, env):
+        cpu = CPU(env, CPUSpec(cores=1))
+        t = BoundThread(cpu.core(0))
+
+        def proc(env):
+            yield from t.acquire()
+            with pytest.raises(ConfigError):
+                yield from t.acquire()
+            t.release()
+
+        env.run(until=env.process(proc(env)))
+
+    def test_release_without_acquire_rejected(self, env):
+        t = BoundThread(CPU(env, CPUSpec(cores=1)).core(0))
+        with pytest.raises(ConfigError):
+            t.release()
+
+
+class TestFabric:
+    def test_attach_and_lookup(self, env):
+        fab = Fabric(env)
+        nic = fab.attach("n0")
+        assert fab.nic("n0") is nic
+        assert len(fab) == 1
+
+    def test_duplicate_attach_rejected(self, env):
+        fab = Fabric(env)
+        fab.attach("n0")
+        with pytest.raises(ConfigError):
+            fab.attach("n0")
+
+    def test_unknown_host_rejected(self, env):
+        with pytest.raises(ConfigError):
+            Fabric(env).nic("ghost")
+
+    def test_transfer_time_model(self, env):
+        spec = NetworkSpec(bandwidth=1 * GB, propagation_latency=1e-6)
+        fab = Fabric(env, spec)
+        fab.attach("a")
+        fab.attach("b")
+
+        def proc(env):
+            yield from fab.transfer("a", "b", 1 * GB)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == pytest.approx(1.0 + 1e-6)
+
+    def test_local_transfer_is_free(self, env):
+        fab = Fabric(env)
+        fab.attach("a")
+
+        def proc(env):
+            yield from fab.transfer("a", "a", 100 * MB)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == 0.0
+
+    def test_tx_contention_serializes(self, env):
+        """Two transfers from one source share its TX pipe."""
+        spec = NetworkSpec(bandwidth=1 * GB, propagation_latency=0.0)
+        # propagation 0 would fail validation? it's >= 0, allowed
+        fab = Fabric(env, spec)
+        for n in ("src", "d1", "d2"):
+            fab.attach(n)
+        done = []
+
+        def proc(env, dst):
+            yield from fab.transfer("src", dst, 1 * GB)
+            done.append((dst, env.now))
+
+        env.process(proc(env, "d1"))
+        env.process(proc(env, "d2"))
+        env.run()
+        assert done == [("d1", 1.0), ("d2", 2.0)]
+
+    def test_disjoint_pairs_run_concurrently(self, env):
+        spec = NetworkSpec(bandwidth=1 * GB, propagation_latency=0.0)
+        fab = Fabric(env, spec)
+        for n in ("a", "b", "c", "d"):
+            fab.attach(n)
+        done = []
+
+        def proc(env, src, dst):
+            yield from fab.transfer(src, dst, 1 * GB)
+            done.append(env.now)
+
+        env.process(proc(env, "a", "b"))
+        env.process(proc(env, "c", "d"))
+        env.run()
+        assert done == [1.0, 1.0]
+
+    def test_rx_contention_two_senders_one_receiver(self, env):
+        spec = NetworkSpec(bandwidth=1 * GB, propagation_latency=0.0)
+        fab = Fabric(env, spec)
+        for n in ("s1", "s2", "sink"):
+            fab.attach(n)
+        done = []
+
+        def proc(env, src):
+            yield from fab.transfer(src, "sink", 1 * GB)
+            done.append(env.now)
+
+        env.process(proc(env, "s1"))
+        env.process(proc(env, "s2"))
+        env.run()
+        assert sorted(done) == [1.0, 2.0]
+
+    def test_meters_record_both_ends(self, env):
+        fab = Fabric(env)
+        fab.attach("a")
+        fab.attach("b")
+
+        def proc(env):
+            yield from fab.transfer("a", "b", 64 * KB)
+
+        env.process(proc(env))
+        env.run()
+        assert fab.nic("a").tx_meter.bytes == 64 * KB
+        assert fab.nic("b").rx_meter.bytes == 64 * KB
+
+    def test_rpc_round_trip_with_server_time(self, env):
+        spec = NetworkSpec(bandwidth=1 * GB, propagation_latency=1e-6)
+        fab = Fabric(env, spec)
+        fab.attach("c")
+        fab.attach("s")
+
+        def proc(env):
+            yield from fab.rpc("c", "s", 64, 64, server_time=5e-6)
+            return env.now
+
+        t = env.run(until=env.process(proc(env)))
+        wire = 2 * (64 / (1 * GB) + 1e-6)
+        assert t == pytest.approx(wire + 5e-6)
+
+    def test_rpc_server_work_result_returned(self, env):
+        fab = Fabric(env)
+        fab.attach("c")
+        fab.attach("s")
+
+        def work():
+            yield env.timeout(1e-6)
+            return "lookup-result"
+
+        def proc(env):
+            out = yield from fab.rpc("c", "s", 64, 64, server_work=work)
+            return out
+
+        assert env.run(until=env.process(proc(env))) == "lookup-result"
+
+    def test_negative_size_rejected(self, env):
+        fab = Fabric(env)
+        fab.attach("a")
+        fab.attach("b")
+        with pytest.raises(ValueError):
+            list(fab.transfer("a", "b", -1))
+
+
+class TestHugePagePool:
+    def test_population(self, env):
+        pool = HugePagePool(env, total_bytes=1 * MB, chunk_size=256 * KB)
+        assert pool.num_chunks == 4
+        assert pool.free_chunks == 4
+        assert pool.total_bytes == 1 * MB
+
+    def test_alloc_free_cycle(self, env):
+        pool = HugePagePool(env, total_bytes=1 * MB, chunk_size=256 * KB)
+
+        def proc(env):
+            chunk = yield pool.alloc()
+            assert pool.free_chunks == 3
+            assert pool.outstanding == 1
+            pool.free(chunk)
+            assert pool.free_chunks == 4
+            assert pool.outstanding == 0
+
+        env.run(until=env.process(proc(env)))
+
+    def test_alloc_blocks_when_exhausted(self, env):
+        pool = HugePagePool(env, total_bytes=512 * KB, chunk_size=256 * KB)
+
+        def hog(env):
+            chunks = yield from pool.alloc_many(2)
+            yield env.timeout(3.0)
+            for c in chunks:
+                pool.free(c)
+
+        def late(env):
+            yield env.timeout(0.1)  # let hog win both chunks first
+            chunk = yield pool.alloc()
+            pool.free(chunk)
+            return env.now
+
+        env.process(hog(env))
+        p = env.process(late(env))
+        assert env.run(until=p) == 3.0
+
+    def test_try_alloc_nonblocking(self, env):
+        pool = HugePagePool(env, total_bytes=256 * KB, chunk_size=256 * KB)
+        chunk = pool.try_alloc()
+        assert chunk is not None
+        assert pool.try_alloc() is None
+        pool.free(chunk)
+        assert pool.try_alloc() is not None
+
+    def test_free_resets_chunk_state(self, env):
+        pool = HugePagePool(env, total_bytes=256 * KB, chunk_size=256 * KB)
+        chunk = pool.try_alloc()
+        chunk.valid_bytes = 1000
+        chunk.owner = "x"
+        pool.free(chunk)
+        assert chunk.valid_bytes == 0 and chunk.owner is None
+
+    def test_foreign_chunk_rejected(self, env):
+        p1 = HugePagePool(env, total_bytes=256 * KB, chunk_size=256 * KB)
+        p2 = HugePagePool(env, total_bytes=256 * KB, chunk_size=256 * KB)
+        chunk = p1.try_alloc()
+        with pytest.raises(AllocationError):
+            p2.free(chunk)
+
+    def test_alloc_many_over_pool_size_rejected(self, env):
+        pool = HugePagePool(env, total_bytes=512 * KB, chunk_size=256 * KB)
+        with pytest.raises(AllocationError):
+            list(pool.alloc_many(3))
+
+    def test_bad_construction(self, env):
+        with pytest.raises(ConfigError):
+            HugePagePool(env, total_bytes=100, chunk_size=0)
+        with pytest.raises(ConfigError):
+            HugePagePool(env, total_bytes=100, chunk_size=200)

@@ -1,0 +1,325 @@
+"""Unit tests for the kernel-stack baseline: LRU, page cache, Ext4 model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Dataset
+from repro.errors import ConfigError, FileNotFound, InvalidHandle
+from repro.hw import CPU, BoundThread, CPUSpec, GB, KB, MB, NVMeDevice, USEC
+from repro.kernelfs import (
+    Ext4FileSystem,
+    LRUCache,
+    PAGE_SIZE,
+    PageCache,
+    READ_SEGMENT_BYTES,
+)
+from repro.sim import Environment
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.get("b") is None
+        assert c.hits == 1 and c.misses == 1
+
+    def test_eviction_order(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # promote a
+        evicted = c.put("c", 3)
+        assert evicted == ("b", 2)
+        assert "a" in c and "c" in c
+
+    def test_put_refresh_no_eviction(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.put("a", 10) is None
+        assert c.get("a") == 10
+
+    def test_contains_does_not_promote(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        _ = "a" in c  # no promotion
+        c.put("c", 3)
+        assert "a" not in c  # a was still coldest
+
+    def test_discard_and_clear(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.discard("a")
+        c.discard("missing")  # no-op
+        assert len(c) == 0
+        c.put("b", 2)
+        c.clear()
+        assert len(c) == 0
+
+    def test_hit_rate(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.get("a")
+        c.get("b")
+        assert c.hit_rate == 0.5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            LRUCache(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_never_exceeds_capacity(self, keys):
+        c = LRUCache(5)
+        for k in keys:
+            c.put(k, k)
+            assert len(c) <= 5
+
+
+class TestPageCache:
+    def test_page_span(self):
+        assert list(PageCache.page_span(0, 1)) == [0]
+        assert list(PageCache.page_span(0, PAGE_SIZE)) == [0]
+        assert list(PageCache.page_span(PAGE_SIZE - 1, 2)) == [0, 1]
+        assert list(PageCache.page_span(2 * PAGE_SIZE, 3 * PAGE_SIZE)) == [2, 3, 4]
+
+    def test_cold_lookup_misses_everything(self):
+        pc = PageCache(1 * MB)
+        missing = pc.lookup(1, 0, 3 * PAGE_SIZE)
+        assert missing == [range(0, 3)]
+
+    def test_fill_then_hit(self):
+        pc = PageCache(1 * MB)
+        pc.fill(1, range(0, 3))
+        assert pc.lookup(1, 0, 3 * PAGE_SIZE) == []
+        assert pc.cached_pages == 3
+
+    def test_partial_hit_returns_runs(self):
+        pc = PageCache(1 * MB)
+        pc.fill(1, range(1, 2))  # only page 1 cached
+        missing = pc.lookup(1, 0, 4 * PAGE_SIZE)
+        assert missing == [range(0, 1), range(2, 4)]
+
+    def test_inodes_are_isolated(self):
+        pc = PageCache(1 * MB)
+        pc.fill(1, range(0, 2))
+        assert pc.lookup(2, 0, PAGE_SIZE) == [range(0, 1)]
+
+    def test_lru_eviction_at_capacity(self):
+        pc = PageCache(2 * PAGE_SIZE)  # two pages
+        pc.fill(1, range(0, 2))
+        pc.fill(1, range(2, 3))  # evicts page 0
+        assert pc.lookup(1, 0, PAGE_SIZE) == [range(0, 1)]
+
+    def test_invalidate_inode(self):
+        pc = PageCache(1 * MB)
+        pc.fill(1, range(0, 4))
+        pc.invalidate_inode(1)
+        assert pc.cached_pages == 0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            PageCache(PAGE_SIZE - 1)
+
+    @given(
+        offset=st.integers(min_value=0, max_value=10**7),
+        nbytes=st.integers(min_value=1, max_value=10**6),
+    )
+    @settings(max_examples=50)
+    def test_missing_runs_cover_exactly_the_uncached_span(self, offset, nbytes):
+        pc = PageCache(64 * MB)
+        missing = pc.lookup(9, offset, nbytes)
+        span = PageCache.page_span(offset, nbytes)
+        covered = sorted(p for run in missing for p in run)
+        assert covered == list(span)
+
+
+@pytest.fixture
+def rig():
+    """A node-in-miniature: env, device, fs, and a thread on core 0."""
+    env = Environment()
+    device = NVMeDevice(env, capacity=16 * GB)
+    fs = Ext4FileSystem(env, device)
+    cpu = CPU(env, CPUSpec(cores=2))
+    thread = BoundThread(cpu.core(0), "t0")
+    return env, device, fs, thread
+
+
+class TestExt4Files:
+    def test_register_and_count(self, rig):
+        env, dev, fs, thread = rig
+        fs.register_file("data/a", 0, 1000)
+        assert fs.num_files == 1
+
+    def test_duplicate_rejected(self, rig):
+        env, dev, fs, thread = rig
+        fs.register_file("data/a", 0, 1000)
+        with pytest.raises(ConfigError):
+            fs.register_file("data/a", PAGE_SIZE, 1000)
+
+    def test_unaligned_extent_rejected(self, rig):
+        env, dev, fs, thread = rig
+        with pytest.raises(ConfigError):
+            fs.register_file("data/a", 512, 1000)
+
+    def test_extent_in_meta_region_rejected(self, rig):
+        env, dev, fs, thread = rig
+        with pytest.raises(ConfigError):
+            fs.register_file("data/a", 15 * GB + PAGE_SIZE, 2 * GB)
+
+    def test_ingest_dataset_pads_to_pages(self, rig):
+        env, dev, fs, thread = rig
+        ds = Dataset.fixed("d", 3, 1000)
+        files = fs.ingest_dataset(ds)
+        assert files[0].device_offset == 0
+        assert files[1].device_offset == PAGE_SIZE
+        assert files[2].device_offset == 2 * PAGE_SIZE
+        assert fs.num_files == 3
+
+    def test_ingest_overflow_detected(self, rig):
+        env, dev, fs, thread = rig
+        ds = Dataset.fixed("d", 5, 8 * GB // 2)
+        with pytest.raises(ConfigError):
+            fs.ingest_dataset(ds)
+
+
+class TestExt4Posix:
+    def test_open_read_close_roundtrip(self, rig):
+        env, dev, fs, thread = rig
+        ds = Dataset.fixed("d", 4, 10 * KB)
+        fs.ingest_dataset(ds)
+
+        def proc(env):
+            fd = yield from fs.open(thread, "d/00000001")
+            got = yield from fs.read(thread, fd, 0, 10 * KB)
+            yield from fs.close(thread, fd)
+            return got
+
+        assert env.run(until=env.process(proc(env))) == 10 * KB
+
+    def test_open_missing_file(self, rig):
+        env, dev, fs, thread = rig
+
+        def proc(env):
+            try:
+                yield from fs.open(thread, "ghost")
+            except FileNotFound:
+                return "missing"
+
+        assert env.run(until=env.process(proc(env))) == "missing"
+
+    def test_read_clamped_to_file_length(self, rig):
+        env, dev, fs, thread = rig
+        fs.register_file("f", 0, 1000)
+
+        def proc(env):
+            fd = yield from fs.open(thread, "f")
+            got = yield from fs.read(thread, fd, 0, 5000)
+            return got
+
+        assert env.run(until=env.process(proc(env))) == 1000
+
+    def test_read_after_close_rejected(self, rig):
+        env, dev, fs, thread = rig
+        fs.register_file("f", 0, 1000)
+
+        def proc(env):
+            fd = yield from fs.open(thread, "f")
+            yield from fs.close(thread, fd)
+            with pytest.raises(InvalidHandle):
+                yield from fs.read(thread, fd, 0, 100)
+            with pytest.raises(InvalidHandle):
+                yield from fs.close(thread, fd)
+
+        env.run(until=env.process(proc(env)))
+
+    def test_read_sample_helper(self, rig):
+        env, dev, fs, thread = rig
+        ds = Dataset.fixed("d", 2, 4 * KB)
+        fs.ingest_dataset(ds)
+
+        def proc(env):
+            return (yield from fs.read_sample(thread, "d/00000000"))
+
+        assert env.run(until=env.process(proc(env))) == 4 * KB
+
+
+class TestExt4Costs:
+    def _time_read_sample(self, sample_bytes, repeat=1, path_idx=0):
+        env = Environment()
+        device = NVMeDevice(env, capacity=64 * GB)
+        fs = Ext4FileSystem(env, device)
+        ds = Dataset.fixed("d", max(path_idx + 1, 4), sample_bytes)
+        fs.ingest_dataset(ds)
+        cpu = CPU(env, CPUSpec(cores=1))
+        thread = BoundThread(cpu.core(0), "t")
+        times = []
+
+        def proc(env):
+            for _ in range(repeat):
+                t0 = env.now
+                yield from fs.read_sample(thread, ds.sample_name(path_idx))
+                times.append(env.now - t0)
+
+        env.run(until=env.process(proc(env)))
+        return times
+
+    def test_small_read_latency_tens_of_microseconds(self):
+        (t,) = self._time_read_sample(512)
+        assert 10 * USEC < t < 100 * USEC
+
+    def test_second_read_faster_due_to_caches(self):
+        t1, t2 = self._time_read_sample(512, repeat=2)
+        assert t2 < t1 * 0.7  # dentry/inode/page cache all hit
+
+    def test_large_read_slower_than_device_transfer_alone(self):
+        """The kernel path adds per-segment + copy overhead on top of
+        the raw device time — Fig 6's Ext4-Base gap at large sizes."""
+        (t,) = self._time_read_sample(1 * MB)
+        env = Environment()
+        device = NVMeDevice(env, capacity=64 * GB)
+        raw = device.spec.transfer_time(1 * MB)
+        assert t > raw * 1.3
+
+    def test_large_read_uses_segments(self):
+        env = Environment()
+        device = NVMeDevice(env, capacity=64 * GB)
+        fs = Ext4FileSystem(env, device)
+        fs.register_file("big", 0, 1 * MB)
+        cpu = CPU(env, CPUSpec(cores=1))
+        thread = BoundThread(cpu.core(0), "t")
+
+        def proc(env):
+            fd = yield from fs.open(thread, "big")
+            yield from fs.read(thread, fd, 0, 1 * MB)
+
+        env.run(until=env.process(proc(env)))
+        # 1 MB / 128 KB = 8 data reads (+1 or 2 metadata block reads).
+        data_reads = 1 * MB // READ_SEGMENT_BYTES
+        assert device.read_meter.completions >= data_reads
+
+    def test_blocking_io_frees_core_for_second_thread(self):
+        """Two Ext4 threads on ONE core beat one thread (I/O overlap)."""
+
+        def run(nthreads):
+            env = Environment()
+            device = NVMeDevice(env, capacity=64 * GB)
+            fs = Ext4FileSystem(env, device)
+            ds = Dataset.fixed("d", 64, 128 * KB)
+            fs.ingest_dataset(ds)
+            cpu = CPU(env, CPUSpec(cores=1))
+            per_thread = 16
+
+            def worker(env, tid):
+                thread = BoundThread(cpu.core(0), f"t{tid}")
+                for k in range(per_thread):
+                    idx = tid * per_thread + k
+                    yield from fs.read_sample(thread, ds.sample_name(idx))
+
+            procs = [env.process(worker(env, t)) for t in range(nthreads)]
+            env.run(until=env.all_of(procs))
+            return nthreads * per_thread / env.now
+
+        assert run(2) > run(1) * 1.2

@@ -1,0 +1,177 @@
+"""Unit tests for the TF-style ingest adapters."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import DLFS, DLFSConfig
+from repro.data import Dataset
+from repro.errors import ConfigError
+from repro.hw import BoundThread, KB, Testbed
+from repro.kernelfs import Ext4FileSystem
+from repro.octopus import OctopusFS
+from repro.sim import Environment
+from repro.train import (
+    DLFSTFAdapter,
+    Ext4TFAdapter,
+    OctopusTFAdapter,
+    TFIngestSpec,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_dlfs_adapter(env, n=1000, size=4 * KB):
+    cluster = Cluster(env, Testbed.paper_emulated(), num_nodes=1)
+    ds = Dataset.fixed("d", n, size)
+    fs = DLFS.mount(cluster, ds, DLFSConfig(batching="chunk"))
+    client = fs.client()
+    thread = BoundThread(cluster.node(0).cpu.core(1), "tf")
+    return DLFSTFAdapter(client, thread), ds
+
+
+class TestSpec:
+    def test_defaults_valid(self):
+        TFIngestSpec().validate()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            TFIngestSpec(per_sample_overhead=-1).validate()
+
+
+class TestDLFSAdapter:
+    def test_batches_flow(self, env):
+        adapter, ds = make_dlfs_adapter(env)
+        adapter.start_epoch(seed=1)
+
+        def app(env):
+            seen = []
+            for _ in range(5):
+                batch = yield from adapter.next_batch(16)
+                seen.extend(batch.tolist())
+            return seen
+
+        seen = env.run(until=env.process(app(env)))
+        assert len(seen) == 80
+        assert adapter.meter.completions == 80
+        assert adapter.ingest_rate() > 0
+
+    def test_epoch_rollover_is_transparent(self, env):
+        adapter, ds = make_dlfs_adapter(env, n=100)
+        adapter.start_epoch(seed=1)
+
+        def app(env):
+            total = 0
+            for _ in range(10):  # 10 x 16 = 160 > 100 samples
+                batch = yield from adapter.next_batch(16)
+                total += len(batch)
+            return total
+
+        assert env.run(until=env.process(app(env))) == 160
+
+    def test_framework_overhead_charged(self, env):
+        """The adapter is slower than raw bread by the ingest costs."""
+        adapter, ds = make_dlfs_adapter(env)
+        adapter.start_epoch(seed=1)
+        spec = adapter.spec
+
+        def app(env):
+            t0 = env.now
+            yield from adapter.next_batch(32)
+            return env.now - t0
+
+        elapsed = env.run(until=env.process(app(env)))
+        floor = spec.per_batch_overhead + 32 * spec.per_sample_overhead
+        assert elapsed > floor
+
+
+class TestExt4Adapter:
+    def _make(self, env, n=200, overhead=0.0):
+        cluster = Cluster(env, Testbed.paper_emulated(), num_nodes=1)
+        node = cluster.node(0)
+        ds = Dataset.fixed("d", n, 4 * KB)
+        fs = Ext4FileSystem(env, node.device)
+        fs.ingest_dataset(ds)
+        fs.warm_metadata()
+        thread = BoundThread(node.cpu.core(0), "tf")
+        return Ext4TFAdapter(fs, ds, thread, file_layer_overhead=overhead), ds
+
+    def test_requires_start_epoch(self, env):
+        adapter, ds = self._make(env)
+
+        def app(env):
+            try:
+                yield from adapter.next_batch(4)
+            except ConfigError:
+                return "unarmed"
+
+        assert env.run(until=env.process(app(env))) == "unarmed"
+
+    def test_reads_and_meters(self, env):
+        adapter, ds = self._make(env)
+        adapter.start_epoch(seed=2)
+
+        def app(env):
+            batch = yield from adapter.next_batch(8)
+            return batch
+
+        batch = env.run(until=env.process(app(env)))
+        assert len(batch) == 8
+        assert adapter.meter.bytes == 8 * 4 * KB
+
+    def test_file_layer_overhead_slows_ingest(self, env):
+        fast, _ = self._make(env, overhead=0.0)
+        env2 = Environment()
+        slow, _ = self._make(env2, overhead=100e-6)
+        for adapter, e in ((fast, env), (slow, env2)):
+            adapter.start_epoch(seed=2)
+
+            def app(e=e, adapter=adapter):
+                yield from adapter.next_batch(16)
+                return e.now
+
+            t = e.run(until=e.process(app()))
+            adapter._elapsed = t
+        assert slow._elapsed > fast._elapsed + 16 * 90e-6
+
+    def test_epoch_rollover(self, env):
+        adapter, ds = self._make(env, n=40)
+        adapter.start_epoch(seed=1)
+
+        def app(env):
+            total = 0
+            for _ in range(4):  # 4 x 16 = 64 > 40
+                batch = yield from adapter.next_batch(16)
+                total += len(batch)
+            return total
+
+        assert env.run(until=env.process(app(env))) == 64
+
+
+class TestOctopusAdapter:
+    def test_reads_through_distributed_fs(self, env):
+        cluster = Cluster(env, Testbed.paper_emulated(), num_nodes=2)
+        ds = Dataset.fixed("d", 200, 4 * KB)
+        ofs = OctopusFS(cluster)
+        ofs.mount(ds)
+        thread = BoundThread(cluster.node(0).cpu.core(0), "tf")
+        adapter = OctopusTFAdapter(ofs, thread, rank=0, num_ranks=1)
+        adapter.start_epoch(seed=3)
+
+        def app(env):
+            batch = yield from adapter.next_batch(8)
+            return batch
+
+        batch = env.run(until=env.process(app(env)))
+        assert len(batch) == 8
+        assert adapter.meter.completions == 8
+
+    def test_unmounted_rejected(self, env):
+        cluster = Cluster(env, Testbed.paper_emulated(), num_nodes=1)
+        ofs = OctopusFS(cluster)
+        thread = BoundThread(cluster.node(0).cpu.core(0), "tf")
+        adapter = OctopusTFAdapter(ofs, thread)
+        with pytest.raises(ConfigError):
+            adapter.start_epoch(seed=0)

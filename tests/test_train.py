@@ -1,0 +1,181 @@
+"""Unit tests for the training stack: MLP, features, SGD, orderings."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChunkPlan
+from repro.data import Dataset, DatasetLayout
+from repro.errors import ConfigError
+from repro.train import (
+    FeatureSpace,
+    MLPClassifier,
+    dlfs_ordering,
+    full_random_ordering,
+    run_accuracy_experiment,
+    train_with_ordering,
+)
+
+
+@pytest.fixture
+def space():
+    ds = Dataset.fixed("c", 600, 3072, num_classes=4, seed=1)
+    return FeatureSpace(ds, dim=16, class_separation=1.5, seed=2)
+
+
+class TestMLP:
+    def test_shapes_and_determinism(self):
+        a = MLPClassifier(8, 3, hidden_dim=16, seed=5)
+        b = MLPClassifier(8, 3, hidden_dim=16, seed=5)
+        assert (a.w1 == b.w1).all() and (a.w2 == b.w2).all()
+
+    def test_forward_probabilities_sum_to_one(self):
+        m = MLPClassifier(4, 3, seed=0)
+        x = np.random.default_rng(0).normal(size=(10, 4))
+        _, probs = m.forward(x)
+        assert probs.shape == (10, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_train_step_reduces_loss_on_fixed_batch(self):
+        m = MLPClassifier(8, 2, learning_rate=0.1, seed=1)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(64, 8))
+        y = (x[:, 0] > 0).astype(np.int64)
+        first = m.loss(x, y)
+        for _ in range(50):
+            m.train_step(x, y)
+        assert m.loss(x, y) < first * 0.5
+
+    def test_train_step_returns_loss(self):
+        m = MLPClassifier(4, 2, seed=0)
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=(8, 4)), rng.integers(0, 2, 8)
+        loss = m.train_step(x, y)
+        assert loss > 0
+
+    def test_bad_input_shape_rejected(self):
+        m = MLPClassifier(4, 2, seed=0)
+        with pytest.raises(ConfigError):
+            m.train_step(np.zeros((3, 5)), np.zeros(3, dtype=int))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigError):
+            MLPClassifier(0, 2)
+        with pytest.raises(ConfigError):
+            MLPClassifier(4, 1)
+        with pytest.raises(ConfigError):
+            MLPClassifier(4, 2, learning_rate=0)
+        with pytest.raises(ConfigError):
+            MLPClassifier(4, 2, momentum=1.0)
+
+    def test_accuracy_on_separable_data(self, space):
+        m = MLPClassifier(16, 4, learning_rate=0.1, seed=0)
+        x, y = space.features(np.arange(600))
+        for _ in range(100):
+            m.train_step(x[:256], y[:256])
+        assert m.accuracy(x[256:], y[256:]) > 0.8
+
+
+class TestFeatureSpace:
+    def test_deterministic_per_index(self, space):
+        x1, y1 = space.features(np.array([3, 7]))
+        x2, y2 = space.features(np.array([7, 3]))
+        assert np.allclose(x1[0], x2[1]) and np.allclose(x1[1], x2[0])
+        assert y1[0] == y2[1]
+
+    def test_labels_match_dataset(self, space):
+        _, y = space.features(np.arange(10))
+        assert (y == space.dataset.labels[:10]).all()
+
+    def test_holdout_disjoint_and_deterministic(self, space):
+        xa, ya = space.holdout(100)
+        xb, yb = space.holdout(100)
+        assert np.allclose(xa, xb) and (ya == yb).all()
+
+    def test_classes_are_separated(self, space):
+        x, y = space.features(np.arange(600))
+        centroid_dist = np.linalg.norm(
+            x[y == 0].mean(axis=0) - x[y == 1].mean(axis=0)
+        )
+        assert centroid_dist > 0.5
+
+    def test_validation(self):
+        ds = Dataset.fixed("d", 10, 100)
+        with pytest.raises(ConfigError):
+            FeatureSpace(ds, dim=0)
+        with pytest.raises(ConfigError):
+            FeatureSpace(ds, noise=0)
+
+
+class TestOrderings:
+    def test_full_random_is_permutation_and_varies_by_epoch(self):
+        src = full_random_ordering(100, seed=1)
+        e0, e1 = src(0), src(1)
+        assert sorted(e0.tolist()) == list(range(100))
+        assert (e0 != e1).any()
+
+    def test_full_random_deterministic(self):
+        a, b = full_random_ordering(50, seed=2), full_random_ordering(50, seed=2)
+        assert (a(3) == b(3)).all()
+
+    def test_dlfs_ordering_is_permutation(self):
+        ds = Dataset.fixed("d", 500, 3072, seed=0)
+        plan = ChunkPlan(DatasetLayout(ds, 1), 16 * 1024)
+        src = dlfs_ordering(plan, seed=4)
+        order = src(0)
+        assert sorted(order.tolist()) == list(range(500))
+
+    def test_dlfs_ordering_varies_by_epoch(self):
+        ds = Dataset.fixed("d", 500, 3072, seed=0)
+        plan = ChunkPlan(DatasetLayout(ds, 1), 16 * 1024)
+        src = dlfs_ordering(plan, seed=4)
+        assert (src(0) != src(1)).any()
+
+
+class TestTraining:
+    def test_training_curve_shape(self, space):
+        curve = train_with_ordering(
+            space, full_random_ordering(600, 0), epochs=5, batch_size=32
+        )
+        assert len(curve.epochs) == 5
+        assert len(curve.val_accuracy) == 5
+        assert curve.final_accuracy() == curve.val_accuracy[-1]
+
+    def test_training_improves_over_random_guess(self, space):
+        curve = train_with_ordering(
+            space, full_random_ordering(600, 0), epochs=15, batch_size=32
+        )
+        assert curve.final_accuracy() > 0.5  # 4 classes -> chance is 0.25
+
+    def test_loss_decreases(self, space):
+        curve = train_with_ordering(
+            space, full_random_ordering(600, 0), epochs=15, batch_size=32
+        )
+        assert curve.train_loss[-1] < curve.train_loss[0]
+
+    def test_validation(self, space):
+        with pytest.raises(ConfigError):
+            train_with_ordering(space, full_random_ordering(600, 0), epochs=0)
+
+    def test_empty_ordering_rejected(self, space):
+        with pytest.raises(ConfigError):
+            train_with_ordering(
+                space, lambda e: np.array([], dtype=np.int64), epochs=1
+            )
+
+
+class TestAccuracyExperiment:
+    def test_fig13_gap_within_noise(self):
+        """Paper Fig 13: DLFS ordering is indistinguishable from full
+        randomization."""
+        cmp = run_accuracy_experiment(
+            num_samples=1500, epochs=15, class_separation=1.0, seed=3
+        )
+        assert cmp.dlfs.final_accuracy() > 0.6
+        assert abs(cmp.final_gap) < 0.05
+        assert cmp.max_epoch_gap < 0.08
+
+    def test_both_curves_converge(self):
+        cmp = run_accuracy_experiment(num_samples=1000, epochs=12, seed=4)
+        assert cmp.full_rand.val_accuracy[-1] > cmp.full_rand.val_accuracy[0]
+        assert cmp.dlfs.val_accuracy[-1] > cmp.dlfs.val_accuracy[0]
