@@ -23,6 +23,7 @@ from ..cluster import Cluster
 from ..core import DLFS, DLFSConfig
 from ..data import Dataset
 from ..errors import ConfigError
+from ..faults import FaultPlan, RecoveryPolicy
 from ..hw import BoundThread, Testbed
 from ..kernelfs import Ext4FileSystem
 from ..octopus import OctopusFS
@@ -45,7 +46,9 @@ __all__ = [
     "octopus_lookup_time",
     "dlfs_disaggregated",
     "tf_ingest_throughput",
+    "dlfs_chaos",
     "Result",
+    "ChaosResult",
 ]
 
 DEFAULT_SEED = 42
@@ -64,6 +67,32 @@ class Result:
     #: Simulated seconds of the measured window.
     sim_time: float = 0.0
 
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """One fault-injected run (:func:`dlfs_chaos`)."""
+
+    #: Delivered samples per simulated second (aggregate).
+    sample_throughput: float
+    #: Samples delivered across all clients.
+    delivered: int
+    #: Samples lost to unrecoverable faults (graceful degradation).
+    failed: int
+    #: Samples the epochs asked for: must equal delivered + failed.
+    expected: int
+    #: Simulated seconds for the full run.
+    sim_time: float
+    #: Merged recovery accounting over all clients
+    #: (:meth:`repro.sim.RecoveryStats.as_dict`).
+    recovery: dict
+    #: Injected fault counts per (site, kind) from the shared injector.
+    fault_counts: dict
+
+    @property
+    def accounted(self) -> bool:
+        """Does the error accounting sum up exactly?"""
+        return self.delivered + self.failed == self.expected
 
 
 def _bread_rolling(client, batch: int, state: dict):
@@ -509,6 +538,88 @@ def ideal_disaggregated_throughput(
     device_bw = num_devices * tb.nvme.read_bandwidth
     client_bw = num_clients * tb.network.bandwidth
     return min(device_bw, client_bw) / sample_bytes
+
+
+# ---------------------------------------------------------------------------
+# Chaos driver (fault injection + recovery)
+# ---------------------------------------------------------------------------
+
+def dlfs_chaos(
+    fault_plan: FaultPlan,
+    recovery: Optional[RecoveryPolicy] = None,
+    num_nodes: int = 2,
+    sample_bytes: int = 4 * 1024,
+    num_samples: int = 1024,
+    epochs: int = 2,
+    batch: int = 32,
+    mode: str = "chunk",
+    seed: int = DEFAULT_SEED,
+    queue_depth: int = 128,
+    testbed: Optional[Testbed] = None,
+) -> ChaosResult:
+    """Full-epoch DLFS run under a fault plan, with strict accounting.
+
+    Unlike the steady-state figure drivers this runs *complete* epochs
+    (every sample demanded exactly once per epoch) and then shuts the
+    clients down, so the invariant ``delivered + failed == expected``
+    is checkable — the ISSUE's acceptance bar for graceful degradation.
+    """
+    env = Environment()
+    cluster = Cluster(
+        env, testbed or Testbed.paper_emulated(),
+        num_nodes=num_nodes, devices_per_node=1,
+    )
+    ds = _dataset(num_samples, sample_bytes)
+    config = DLFSConfig(
+        batching=mode, queue_depth=queue_depth,
+        fault_plan=fault_plan, recovery=recovery,
+    )
+    fs = DLFS.mount(cluster, ds, config)
+    clients = [
+        fs.client(rank=r, num_ranks=num_nodes, node=cluster.node(r))
+        for r in range(num_nodes)
+    ]
+    expected = [0] * num_nodes
+
+    def app(env, client):
+        for e in range(epochs):
+            client.sequence(seed=seed + e)
+            while client.epoch_remaining > 0:
+                count = min(batch, client.epoch_remaining)
+                samples = yield from client.bread(count)
+                expected[client.rank] += len(samples)
+
+    procs = [env.process(app(env, c), name=f"chaos{c.rank}") for c in clients]
+    env.run(until=env.all_of(procs))
+    # Measure over the application window; the drain below only lets
+    # trailing recovery timers (watchdogs, reset drivers) expire.
+    app_time = env.now
+
+    def teardown(env):
+        for c in clients:
+            yield from c.shutdown()
+
+    env.run(until=env.process(teardown(env), name="chaos.teardown"))
+    env.run()  # drain trailing timers (watchdogs, reset drivers)
+
+    delivered = sum(c.samples_delivered for c in clients)
+    failed = sum(c.failed_samples for c in clients)
+    recovery_merged: dict = {"degraded_time": 0.0}
+    for c in clients:
+        for key, value in c.recovery_stats.as_dict().items():
+            recovery_merged[key] = recovery_merged.get(key, 0) + value
+    throughput = delivered / app_time if app_time > 0 else 0.0
+    return ChaosResult(
+        sample_throughput=throughput,
+        delivered=delivered,
+        failed=failed,
+        expected=sum(expected),
+        sim_time=app_time,
+        recovery=recovery_merged,
+        fault_counts=(
+            fs.injector.counts.as_dict() if fs.injector is not None else {}
+        ),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@ import numpy as np
 from ..cluster import Cluster, Communicator, Node
 from ..data import Dataset, DatasetLayout, ParallelFS
 from ..errors import ConfigError, InvalidHandle, NotMounted
+from ..faults import FaultInjector, FaultPlan, RecoveryPolicy
 from ..hw import MB, NVMeDevice
 from ..hw.cpu import BoundThread
 from ..sim import Event, Store
@@ -83,6 +84,13 @@ class DLFSConfig:
     #: (double-buffer discipline), so the application must be done with
     #: a batch before requesting the next.
     zero_copy: bool = False
+    #: Deterministic fault injection (:mod:`repro.faults`).  ``None``
+    #: (and a zero plan) keep the datapath bit-identical to a build
+    #: without the fault subsystem — pay-for-use.
+    fault_plan: Optional[FaultPlan] = None
+    #: Recovery policy for the reactors.  ``None`` with a non-zero
+    #: fault plan resolves to ``RecoveryPolicy()`` defaults.
+    recovery: Optional[RecoveryPolicy] = None
 
     def validate(self) -> None:
         if self.batching not in (BATCH_NONE, BATCH_SAMPLE, BATCH_CHUNK):
@@ -91,6 +99,10 @@ class DLFSConfig:
             raise ConfigError("queue_depth, window, batch_per_rank must be >= 1")
         if self.injected_compute < 0 or self.select_overhead < 0:
             raise ConfigError("overheads must be >= 0")
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
+        if self.recovery is not None:
+            self.recovery.validate()
 
 
 @dataclass(eq=False)
@@ -166,6 +178,23 @@ class DLFS:
                     self.env, node.name, node.devices[dev_idx], cluster.fabric
                 )
             )
+        # Fault injection: one shared injector drives every fault site
+        # (devices, fabric, NVMe-oF targets, reactor reset schedules)
+        # from one seed.  A zero plan builds nothing, so the healthy
+        # datapath stays bit-identical (pay-for-use).
+        self.injector: Optional[FaultInjector] = None
+        self.recovery: Optional[RecoveryPolicy] = self.config.recovery
+        plan = self.config.fault_plan
+        if plan is not None and not plan.is_zero:
+            self.injector = FaultInjector(plan)
+            if self.recovery is None:
+                self.recovery = RecoveryPolicy()
+            cluster.fabric.install_fault_injector(self.injector)
+            for node_idx, dev_idx in placement:
+                device = cluster.node(node_idx).devices[dev_idx]
+                device.install_fault_injector(self.injector)
+            for target in self.targets:
+                target.install_fault_injector(self.injector)
         self._clients: list["DLFSClient"] = []
         self._mounted = False
 
@@ -365,6 +394,8 @@ class DLFSClient:
             inbox=inbox,
             use_scq=config.use_scq,
             zero_copy=config.zero_copy,
+            injector=fs.injector,
+            recovery=fs.recovery,
             name=f"dlfs.{node.name}.r{rank}",
         )
         if config.copy_cores:
@@ -374,6 +405,9 @@ class DLFSClient:
         # Zero-copy mode: cache keys lent to the application by the
         # previous batch, released when the next one is requested.
         self._lent_keys: list = []
+        #: Per-sample failures surfaced by completed jobs (graceful
+        #: degradation: jobs finish, losses are reported here).
+        self.error_log: list = []
         # Epoch state (set by sequence()).
         self._global_seq: Optional[GlobalSequence] = None
         self._epoch: Optional[ChunkEpoch] = None
@@ -559,6 +593,8 @@ class DLFSClient:
     def _collect_lent(self, job: ReadJob) -> None:
         if job.retained:
             self._lent_keys.extend(job.retained)
+        if job.errors:
+            self.error_log.extend(job.errors)
 
     def release_buffers(self) -> None:
         """Explicitly return zero-copy buffers before the next batch."""
@@ -573,6 +609,27 @@ class DLFSClient:
     @property
     def samples_delivered(self) -> int:
         return self.reactor.samples_delivered
+
+    @property
+    def failed_samples(self) -> int:
+        """Samples lost to unrecoverable faults (graceful degradation)."""
+        return len(self.error_log)
+
+    @property
+    def recovery_stats(self):
+        """The reactor's :class:`repro.sim.RecoveryStats`."""
+        return self.reactor.recovery_stats
+
+    def error_report(self) -> dict:
+        """Structured per-job error accounting for this client."""
+        by_key: dict = {}
+        for exc in self.error_log:
+            by_key.setdefault(exc.key, []).append(str(exc))
+        return {
+            "failed_samples": len(self.error_log),
+            "by_span": by_key,
+            "recovery": self.reactor.recovery_stats.as_dict(),
+        }
 
     def sample_throughput(self) -> float:
         """Delivered samples per simulated second."""

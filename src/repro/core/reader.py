@@ -24,16 +24,25 @@ Flow per the paper's four stages:
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import (
+    ConfigError,
+    MediaError,
+    NotMounted,
+    RequestTimeout,
+    SampleReadError,
+)
+from ..faults import FaultInjector, RecoveryPolicy
+from ..hw import STATUS_ABORTED_RESET, STATUS_MEDIA_ERROR, STATUS_OK
 from ..hw.cpu import BoundThread, Core
 from ..hw.platform import CPUSpec, NetworkSpec
-from ..sim import Environment, Event, Store, Tally, ThroughputMeter
+from ..sim import Environment, Event, RecoveryStats, Store, Tally, ThroughputMeter
 from ..spdk import IOQPair, SPDKRequest, aligned_span
 from .batching import REQ_CHUNK, ChunkPlan
 from .cache import RESIDENT, SampleCache
@@ -45,6 +54,43 @@ __all__ = ["Reactor", "ReadJob", "LookupJob", "CopyPool", "SHUTDOWN"]
 SHUTDOWN = object()
 #: Inbox sentinel: re-run the pump (memory freed by a copy worker).
 KICK = object()
+
+
+class _DeadlineCheck:
+    """A posted request's deadline timer fired; check if it is stuck."""
+
+    __slots__ = ("req", "attempt")
+
+    def __init__(self, req: SPDKRequest, attempt: int) -> None:
+        self.req = req
+        self.attempt = attempt
+
+
+class _RetryRequest:
+    """A backoff timer elapsed; the request is ready to repost."""
+
+    __slots__ = ("req",)
+
+    def __init__(self, req: SPDKRequest) -> None:
+        self.req = req
+
+
+class _QPairReset:
+    """Forced (plan-injected) reset of one shard's qpair."""
+
+    __slots__ = ("shard",)
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+
+
+class _QPairUp:
+    """A disconnected qpair finished reconnecting."""
+
+    __slots__ = ("shard",)
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
 
 
 @dataclass(eq=False)
@@ -63,6 +109,9 @@ class ReadJob:
     #: Zero-copy mode: cache keys handed to the application, released
     #: only when it moves on to the next batch.
     retained: list = field(default_factory=list)
+    #: Per-sample failures (:class:`repro.errors.SampleReadError`): the
+    #: job still completes — graceful degradation — with the losses here.
+    errors: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.remaining = len(self.samples)
@@ -83,7 +132,7 @@ class _PendingFetch:
     """One in-flight span: its cache slot, parts, and waiting deliveries."""
 
     __slots__ = ("key", "shard", "offset", "nbytes", "samples",
-                 "parts_remaining", "waiters", "posted")
+                 "parts_remaining", "waiters", "posted", "failed")
 
     def __init__(self, key, shard: int, offset: int, nbytes: int,
                  samples: np.ndarray) -> None:
@@ -95,6 +144,9 @@ class _PendingFetch:
         self.parts_remaining = 0
         self.waiters: list[tuple[ReadJob, int]] = []
         self.posted = False
+        #: Set to the first unrecoverable error; once set, remaining
+        #: parts only count down so the span can be retired exactly once.
+        self.failed: Optional[BaseException] = None
 
 
 class CopyPool:
@@ -106,6 +158,8 @@ class CopyPool:
         self.env = env
         self.tasks: Store = Store(env, name="copypool.tasks")
         self._kick = kick
+        self.num_workers = len(cores)
+        self._shut_down = False
         for core in cores:
             env.process(self._worker(core), name=f"copy@{core.name}")
 
@@ -122,7 +176,18 @@ class CopyPool:
             callback()
             self._kick()
 
-    def shutdown(self, workers: int) -> None:
+    def shutdown(self, workers: Optional[int] = None) -> None:
+        """Stop the copy workers (all of them by default).
+
+        Idempotent with no ``workers`` argument, so the owning reactor
+        can call it unconditionally at drain time without double-killing
+        a pool the application already shut down.
+        """
+        if workers is None:
+            if self._shut_down:
+                return
+            workers = self.num_workers
+        self._shut_down = True
         for _ in range(workers):
             self.tasks.put(SHUTDOWN)
 
@@ -148,6 +213,8 @@ class Reactor:
         inbox: Optional[Store] = None,
         use_scq: bool = True,
         zero_copy: bool = False,
+        injector: Optional[FaultInjector] = None,
+        recovery: Optional[RecoveryPolicy] = None,
         name: str = "dlfs.reactor",
     ) -> None:
         self.env = env
@@ -190,6 +257,31 @@ class Reactor:
         self._inline_copy_cost = 0.0
         self._inline_done_list: list[Callable[[], None]] = []
         self._stopped = env.event()
+        self._stopping = False
+
+        #: Fault injection + recovery (pay-for-use: both default off and
+        #: the healthy datapath is bit-identical with them unset).
+        self.injector = injector
+        self.recovery = recovery
+        if injector is not None and not injector.plan.is_zero and recovery is None:
+            raise ConfigError(
+                "a non-zero fault plan needs a RecoveryPolicy "
+                "(pass recovery=RecoveryPolicy())"
+            )
+        self.recovery_stats = RecoveryStats(env, name=f"{name}.recovery")
+        self._pending_retries = 0
+        self._jitter_rng: Optional[np.random.Generator] = None
+        if recovery is not None:
+            recovery.validate()
+            self._jitter_rng = np.random.default_rng(
+                [recovery.seed, zlib.crc32(name.encode())]
+            )
+        if injector is not None and injector.resets_enabled:
+            for shard in qpairs:
+                env.process(
+                    self._reset_driver(shard), name=f"{name}.reset[{shard}]"
+                )
+
         self._process = env.process(self._run(), name=name)
 
     # -- frontend entry points (called from application processes) -------------
@@ -213,6 +305,7 @@ class Reactor:
                     msg = yield self.inbox.get()
                     stop = yield from self._dispatch(msg)
                 if stop:
+                    yield from self._drain_on_stop()
                     return
                 yield from self._pump()
         finally:
@@ -226,9 +319,18 @@ class Reactor:
             yield from self._on_job(msg)
         elif isinstance(msg, LookupJob):
             yield from self._on_lookup(msg)
+        elif isinstance(msg, _RetryRequest):
+            self._on_retry_ready(msg.req)
+        elif isinstance(msg, _DeadlineCheck):
+            self._on_deadline(msg)
+        elif isinstance(msg, _QPairReset):
+            self._reset_qpair(msg.shard, forced=True)
+        elif isinstance(msg, _QPairUp):
+            self._on_qpair_up(msg.shard)
         elif msg is KICK:
             pass
         elif msg is SHUTDOWN:
+            self._stopping = True
             return True
         else:
             raise ConfigError(f"unknown reactor message: {msg!r}")
@@ -376,8 +478,15 @@ class Reactor:
                         ci += 1
                     cost += self.cpu.request_setup * fetch.parts_remaining
                 req = postq.popleft()
+                if req.tag.failed is not None:
+                    # A sibling part already doomed this span; don't
+                    # waste a queue slot on it.
+                    self._part_failed(req.tag, req.tag.failed)
+                    continue
                 cost += self.net.rdma_post_overhead
                 qp.post(req)
+                if self.recovery is not None:
+                    self._arm_watchdog(req)
         if cost > 0.0:
             yield from self.thread.run(cost)
 
@@ -389,7 +498,14 @@ class Reactor:
             poll_cost *= max(len(self.qpairs), 1)
         yield from self.thread.run(poll_cost + self.completion_overhead)
         fetch: _PendingFetch = req.tag
+        if self.recovery is not None and req.status != STATUS_OK:
+            self._recover(req)
+            return
         fetch.parts_remaining -= 1
+        if fetch.failed is not None:
+            if fetch.parts_remaining == 0:
+                self._finalize_failed(fetch)
+            return
         if fetch.parts_remaining > 0:
             return
         # All parts of the span have landed: mark resident, set V bits.
@@ -402,6 +518,229 @@ class Reactor:
         # Copy work for this completion happens via _start_delivery; the
         # inline path charges it on this core inside the loop below.
         yield from self._flush_inline_copies()
+
+    # -- failure recovery --------------------------------------------------------------
+    def _recover(self, req: SPDKRequest) -> None:
+        """Route one failed part: requeue, retry with backoff, or give up."""
+        fetch: _PendingFetch = req.tag
+        recovery = self.recovery
+        status = req.status
+        self.recovery_stats.incr(
+            "aborted" if status == STATUS_ABORTED_RESET else status
+        )
+        if self._stopping:
+            self._part_failed(
+                fetch,
+                SampleReadError(
+                    f"sample span {fetch.key!r} aborted: reactor stopping",
+                    key=fetch.key,
+                ),
+            )
+        elif fetch.failed is not None:
+            # Span already doomed by a sibling part; just count down.
+            self._part_failed(fetch, fetch.failed)
+        elif status == STATUS_ABORTED_RESET:
+            # Reset aborts are a recovery action, not a device fault:
+            # requeue at no cost against the retry budget.
+            self._postq[fetch.shard].append(req)
+        elif req.retries >= recovery.max_retries:
+            self.recovery_stats.incr("budget_exhausted")
+            exc_type = MediaError if status == STATUS_MEDIA_ERROR else RequestTimeout
+            self._part_failed(
+                fetch,
+                exc_type(f"{fetch.key!r}: {status} after {req.retries} retries"),
+            )
+        else:
+            req.retries += 1
+            self.recovery_stats.incr("retries")
+            self._pending_retries += 1
+            self.env.process(
+                self._retry_later(req, self._backoff_delay(req.retries)),
+                name=f"{self.name}.retry",
+            )
+
+    def _part_failed(self, fetch: _PendingFetch, exc: BaseException) -> None:
+        if fetch.failed is None:
+            fetch.failed = exc
+        fetch.parts_remaining -= 1
+        if fetch.parts_remaining == 0:
+            self._finalize_failed(fetch)
+
+    def _finalize_failed(self, fetch: _PendingFetch) -> None:
+        """Retire a doomed span: free its cache slot, fail its waiters.
+
+        Graceful degradation (ISSUE acceptance): each waiting job records
+        a :class:`SampleReadError` and still completes — one lost sample
+        never wedges a batch.
+        """
+        self._pending.pop(fetch.key, None)
+        if self.cache.slot(fetch.key) is not None:
+            self.cache.discard(fetch.key)
+        for job, _nbytes in fetch.waiters:
+            exc = SampleReadError(
+                f"sample span {fetch.key!r} failed: {fetch.failed}",
+                key=fetch.key,
+            )
+            exc.__cause__ = fetch.failed
+            job.errors.append(exc)
+            self.recovery_stats.incr("failed_samples")
+            job.remaining -= 1
+            if job.remaining == 0:
+                self.job_latency.observe(self.env.now - job.submit_time)
+                job.done.succeed(job)
+        fetch.waiters.clear()
+
+    def _backoff_delay(self, retry: int) -> float:
+        """Capped exponential backoff with seeded jitter."""
+        delay = self.recovery.backoff(retry)
+        if self.recovery.jitter > 0.0:
+            delay *= 1.0 + self.recovery.jitter * float(self._jitter_rng.random())
+        return delay
+
+    def _retry_later(
+        self, req: SPDKRequest, delay: float
+    ) -> Generator[Event, Any, None]:
+        yield self.env.timeout(delay)
+        self.inbox.put(_RetryRequest(req))
+
+    def _on_retry_ready(self, req: SPDKRequest) -> None:
+        self._pending_retries -= 1
+        fetch: _PendingFetch = req.tag
+        if fetch.failed is not None or self._stopping:
+            self._part_failed(
+                fetch,
+                fetch.failed
+                or SampleReadError(
+                    f"sample span {fetch.key!r} aborted: reactor stopping",
+                    key=fetch.key,
+                ),
+            )
+            return
+        self._postq[fetch.shard].append(req)
+
+    def _arm_watchdog(self, req: SPDKRequest) -> None:
+        """Deadline timer for a posted request (cost-free on the core)."""
+        self.env.process(
+            self._watchdog(req, req.attempts), name=f"{self.name}.watchdog"
+        )
+
+    def _watchdog(
+        self, req: SPDKRequest, attempt: int
+    ) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.recovery.deadline)
+        if req.status is None and req.attempts == attempt:
+            self.inbox.put(_DeadlineCheck(req, attempt))
+
+    def _on_deadline(self, msg: _DeadlineCheck) -> None:
+        req = msg.req
+        if req.status is not None or req.attempts != msg.attempt:
+            return  # completed (or reposted) since the timer was armed
+        fetch: _PendingFetch = req.tag
+        self.recovery_stats.incr("deadline_timeouts")
+        req.retries += 1
+        if req.retries > self.recovery.max_retries and fetch.failed is None:
+            fetch.failed = RequestTimeout(
+                f"{fetch.key!r}: missed {req.retries} deadlines"
+            )
+        # A stuck command is recovered NVMe-style: reset the qpair, which
+        # aborts everything in flight back to us for requeueing.
+        self._reset_qpair(fetch.shard, forced=False)
+
+    def _reset_qpair(self, shard: int, forced: bool) -> None:
+        qp = self.qpairs[shard]
+        if not qp.connected:
+            return  # reset already in progress
+        if forced and self.injector is not None:
+            self.injector.record(self.env.now, qp.name, "qpair_reset")
+        qp.reset()
+        self.recovery_stats.incr("resets")
+        self.recovery_stats.enter_degraded()
+        self.env.process(
+            self._reconnect_later(shard), name=f"{self.name}.reconnect"
+        )
+
+    def _reconnect_later(self, shard: int) -> Generator[Event, Any, None]:
+        delay = self.recovery.reconnect_delay if self.recovery is not None else 0.0
+        yield self.env.timeout(delay)
+        self.inbox.put(_QPairUp(shard))
+
+    def _on_qpair_up(self, shard: int) -> None:
+        qp = self.qpairs[shard]
+        if not qp.connected:
+            qp.reconnect()
+            self.recovery_stats.exit_degraded()
+
+    def _reset_driver(self, shard: int) -> Generator[Event, Any, None]:
+        """Plan-driven periodic qpair resets (chaos injection)."""
+        qp = self.qpairs[shard]
+        while True:
+            delay = self.injector.next_reset_delay(qp.name)
+            yield self.env.timeout(delay)
+            if self._stopping:
+                return
+            self.inbox.put(_QPairReset(shard))
+
+    def _drain_on_stop(self) -> Generator[Event, Any, None]:
+        """Shutdown drain: abort queued work, await in-flight completions.
+
+        Leaving in-flight requests orphaned at stop time wedges the
+        simulation (their completions land in an inbox nobody reads,
+        while cache slots stay FILLING forever) — the CopyPool/stop
+        deadlock of the ISSUE.  Instead: fail everything not yet posted,
+        then keep servicing the inbox until the qpairs and retry timers
+        are quiet.
+        """
+
+        def stop_error(fetch: _PendingFetch) -> SampleReadError:
+            return SampleReadError(
+                f"sample span {fetch.key!r} aborted: reactor stopped",
+                key=fetch.key,
+            )
+
+        for rpq in self._rpq.values():
+            while rpq:
+                fetch = rpq.popleft()
+                fetch.failed = stop_error(fetch)
+                self._finalize_failed(fetch)
+        for postq in self._postq.values():
+            while postq:
+                req = postq.popleft()
+                fetch = req.tag
+                self._part_failed(fetch, fetch.failed or stop_error(fetch))
+        while (
+            any(qp.inflight for qp in self.qpairs.values())
+            or self._pending_retries > 0
+        ):
+            msg = yield self.inbox.get()
+            if isinstance(msg, (SPDKRequest, _RetryRequest, _DeadlineCheck, _QPairUp)):
+                yield from self._dispatch(msg)
+                for postq in self._postq.values():
+                    while postq:
+                        req = postq.popleft()
+                        fetch = req.tag
+                        self._part_failed(
+                            fetch, fetch.failed or stop_error(fetch)
+                        )
+            elif isinstance(msg, ReadJob):
+                # Late job during teardown: fail every sample, but let
+                # the caller's await complete.
+                msg.submit_time = self.env.now
+                for s in msg.samples:
+                    msg.errors.append(
+                        SampleReadError(
+                            f"sample {int(s)} rejected: reactor stopped",
+                            key=int(s),
+                        )
+                    )
+                    self.recovery_stats.incr("failed_samples")
+                msg.remaining = 0
+                msg.done.succeed(msg)
+            elif isinstance(msg, LookupJob):
+                msg.done.fail(NotMounted("reactor is stopped"))
+            # KICK / _QPairReset / SHUTDOWN: ignored during drain.
+        yield from self._flush_inline_copies()
+        if self.copy_pool is not None:
+            self.copy_pool.shutdown()
 
     def _start_delivery(self, job: ReadJob, key, nbytes: int) -> None:
         """Hand one sample from the cache to the application: a copy to

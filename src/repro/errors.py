@@ -70,3 +70,36 @@ class EntryFormatError(DirectoryError):
 
 class ConfigError(ReproError):
     """Invalid configuration value."""
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault failures in the datapath.
+
+    Raised (or recorded) by the fault-injection subsystem
+    (:mod:`repro.faults`) and the recovery machinery that handles it.
+    """
+
+
+class MediaError(FaultError):
+    """An NVMe read completed with an unrecoverable media error."""
+
+
+class RequestTimeout(FaultError):
+    """An I/O request missed its completion deadline."""
+
+
+class QPairResetError(FaultError):
+    """An I/O qpair was reset (or is disconnected) with requests in flight."""
+
+
+class SampleReadError(FaultError):
+    """A sample could not be delivered after exhausting the retry budget.
+
+    Carries the cache key of the failed span; the batch it belonged to
+    still completes (graceful degradation), with the failure recorded in
+    the job's error list.
+    """
+
+    def __init__(self, message: str, key: object = None) -> None:
+        super().__init__(message)
+        self.key = key

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the simulated DLFS datapath.
+
+The subsystem has two halves:
+
+* :class:`FaultPlan` + :class:`FaultInjector` — *what goes wrong*:
+  seeded per-site fault decisions (NVMe media errors, latency hiccups,
+  wedged commands, fabric drops, forced qpair resets) with a
+  reproducible event trace.
+* :class:`RecoveryPolicy` — *how the client survives it*: per-request
+  deadlines, capped exponential backoff with seeded jitter, a bounded
+  retry budget, qpair reset/reconnect/requeue, and per-sample graceful
+  degradation (:class:`repro.errors.SampleReadError`).
+
+Install a plan through ``DLFSConfig(fault_plan=...)`` (the mount wires
+the injector into every device, target, and reactor) or drive the hooks
+directly for component-level chaos tests.
+"""
+
+from .injector import FaultEvent, FaultInjector
+from .plan import ZERO_PLAN, FaultPlan, RecoveryPolicy, parse_fault_plan
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultEvent",
+    "RecoveryPolicy",
+    "parse_fault_plan",
+    "ZERO_PLAN",
+]

@@ -1,0 +1,182 @@
+"""Fault plans and recovery policies.
+
+A :class:`FaultPlan` is a declarative, fully-seeded description of the
+faults to inject into one simulation run: per-command probabilities for
+NVMe media errors, latency hiccups, and command stalls; per-transfer
+probabilities for fabric drops; and a period for forced qpair resets.
+Because every random draw flows from ``plan.seed`` through per-site
+substreams (see :class:`repro.faults.FaultInjector`), a chaos run is
+exactly reproducible: same plan, same workload, same event trace.
+
+A :class:`RecoveryPolicy` is the client-side counterpart: how the DLFS
+reactor detects and survives those faults (deadlines, capped exponential
+backoff with seeded jitter, a bounded retry budget, reconnect pacing).
+
+``parse_fault_plan`` turns the CLI's ``--fault-plan`` argument — either
+a ``key=value,key=value`` string or a path to a JSON file — into a plan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, fields, replace
+
+from ..errors import ConfigError
+
+__all__ = ["FaultPlan", "RecoveryPolicy", "parse_fault_plan", "ZERO_PLAN"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of every fault site's behaviour."""
+
+    #: Root seed; every fault site derives an independent substream.
+    seed: int = 0
+
+    # -- NVMe device fault sites (per command) ------------------------------
+    #: P(read completes with an unrecoverable media error).
+    media_error_rate: float = 0.0
+    #: P(command pays an extra media-latency spike — a "hiccup").
+    hiccup_rate: float = 0.0
+    #: Extra latency of one hiccup, seconds.
+    hiccup_duration: float = 2e-3
+    #: P(command wedges in the controller far past any sane deadline).
+    timeout_rate: float = 0.0
+    #: How long a wedged command takes before surfacing TIMEOUT, seconds.
+    timeout_stall: float = 50e-3
+
+    # -- fabric / NVMe-oF fault sites ----------------------------------------
+    #: P(one fabric transfer is dropped and must be re-driven: a stall).
+    link_drop_rate: float = 0.0
+    #: Stall paid when a transfer or capsule is dropped, seconds.
+    link_stall: float = 5e-3
+    #: P(an NVMe-oF command capsule is lost at the target front-end).
+    nvmf_drop_rate: float = 0.0
+
+    # -- forced qpair resets ---------------------------------------------------
+    #: Mean period between forced per-qpair resets, seconds (0 = never).
+    qpair_reset_period: float = 0.0
+    #: Uniform jitter fraction applied to each reset period.
+    qpair_reset_jitter: float = 0.25
+
+    def validate(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "seed":
+                continue
+            if value < 0:
+                raise ConfigError(f"fault plan field {f.name} must be >= 0")
+        for rate in ("media_error_rate", "hiccup_rate", "timeout_rate",
+                     "link_drop_rate", "nvmf_drop_rate"):
+            if getattr(self, rate) > 1.0:
+                raise ConfigError(f"{rate} is a probability; got {getattr(self, rate)}")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan can never inject anything (pay-for-use)."""
+        return (
+            self.media_error_rate == 0.0
+            and self.hiccup_rate == 0.0
+            and self.timeout_rate == 0.0
+            and self.link_drop_rate == 0.0
+            and self.nvmf_drop_rate == 0.0
+            and self.qpair_reset_period == 0.0
+        )
+
+
+#: The no-op plan: machinery installed, nothing ever injected.
+ZERO_PLAN = FaultPlan()
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a DLFS reactor detects faults and drives itself back healthy."""
+
+    #: Per-request completion deadline, seconds; a miss resets the qpair.
+    deadline: float = 20e-3
+    #: Fault-retry budget per request (media errors / stalled commands).
+    max_retries: int = 4
+    #: First retry backoff, seconds; doubles per retry up to ``backoff_cap``.
+    backoff_base: float = 0.5e-3
+    backoff_cap: float = 8e-3
+    #: Jitter fraction added to each backoff (seeded, deterministic).
+    jitter: float = 0.25
+    #: Delay before a reset qpair reconnects and requeued I/O reposts.
+    reconnect_delay: float = 1e-3
+    #: Jitter stream seed (combined with the reactor name).
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.deadline <= 0 or self.reconnect_delay < 0:
+            raise ConfigError("deadline must be > 0, reconnect_delay >= 0")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ConfigError("need 0 <= backoff_base <= backoff_cap")
+        if self.jitter < 0:
+            raise ConfigError("jitter must be >= 0")
+
+    def backoff(self, retry: int) -> float:
+        """Capped exponential backoff for the ``retry``-th attempt (1-based)."""
+        if retry < 1:
+            raise ConfigError(f"retry numbers are 1-based; got {retry}")
+        return min(self.backoff_cap, self.backoff_base * 2.0 ** (retry - 1))
+
+
+#: Short CLI aliases accepted by ``parse_fault_plan``.
+_ALIASES = {
+    "media": "media_error_rate",
+    "hiccup": "hiccup_rate",
+    "timeout": "timeout_rate",
+    "drop": "link_drop_rate",
+    "nvmf_drop": "nvmf_drop_rate",
+    "reset_period": "qpair_reset_period",
+    "reset_jitter": "qpair_reset_jitter",
+}
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Build a :class:`FaultPlan` from a CLI argument.
+
+    Accepts an inline JSON object, a path to a JSON file, or an inline
+    spec like ``"media=0.01,reset_period=0.05,seed=7"`` (full field
+    names and the short aliases above both work).  ``"zero"``/``""``
+    gives the no-op plan.
+    """
+    text = text.strip()
+    if text in ("", "zero", "none"):
+        return ZERO_PLAN
+    if text.startswith("{"):
+        raw = json.loads(text)
+        if not isinstance(raw, dict):
+            raise ConfigError("inline fault plan must be a JSON object")
+        items = raw.items()
+    elif text.endswith(".json") or os.path.exists(text):
+        with open(text) as fh:
+            raw = json.load(fh)
+        if not isinstance(raw, dict):
+            raise ConfigError(f"fault plan file {text!r} must hold a JSON object")
+        items = raw.items()
+    else:
+        items = []
+        for pair in text.split(","):
+            if not pair.strip():
+                continue
+            if "=" not in pair:
+                raise ConfigError(
+                    f"bad fault-plan entry {pair!r} (expected key=value)"
+                )
+            key, value = pair.split("=", 1)
+            items.append((key.strip(), value.strip()))
+
+    valid = {f.name for f in fields(FaultPlan)}
+    updates = {}
+    for key, value in items:
+        name = _ALIASES.get(key, key)
+        if name not in valid:
+            raise ConfigError(f"unknown fault-plan field {key!r}")
+        updates[name] = int(value) if name == "seed" else float(value)
+    plan = replace(FaultPlan(), **updates)
+    plan.validate()
+    return plan

@@ -7,7 +7,16 @@ classes here turn those constants into contended simulation resources.
 from .cpu import CPU, BoundThread, Core
 from .memory import HugePageChunk, HugePagePool
 from .network import NIC, Fabric
-from .nvme import READ, WRITE, NVMeCommand, NVMeDevice
+from .nvme import (
+    READ,
+    STATUS_ABORTED_RESET,
+    STATUS_MEDIA_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    WRITE,
+    NVMeCommand,
+    NVMeDevice,
+)
 from .platform import (
     GB,
     KB,
@@ -33,6 +42,10 @@ __all__ = [
     "NVMeCommand",
     "READ",
     "WRITE",
+    "STATUS_OK",
+    "STATUS_MEDIA_ERROR",
+    "STATUS_TIMEOUT",
+    "STATUS_ABORTED_RESET",
     "CPUSpec",
     "OSSpec",
     "NVMeSpec",

@@ -48,6 +48,13 @@ class Fabric:
         self.spec.validate()
         self._nics: dict[str, NIC] = {}
         self.transfer_latency = Tally("fabric.transfer_latency")
+        #: Optional fault injector (see :mod:`repro.faults`); ``None``
+        #: keeps the healthy fast path with zero overhead.
+        self.injector = None
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to this fabric."""
+        self.injector = injector
 
     # -- topology ----------------------------------------------------------
     def attach(self, name: str) -> NIC:
@@ -82,6 +89,12 @@ class Fabric:
         if src == dst or nbytes == 0:
             return
         t0 = self.env.now
+        if self.injector is not None:
+            # A dropped transfer is re-driven after a detection stall
+            # (go-back-N at the reliable-connection layer).
+            stall = self.injector.link_fault(src, dst, self.env.now)
+            if stall is not None:
+                yield self.env.timeout(stall)
         src_nic, dst_nic = self.nic(src), self.nic(dst)
         wire_time = self.spec.transfer_time(nbytes)
         # Cut-through: both endpoint pipes are busy for the wire time.

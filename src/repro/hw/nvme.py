@@ -30,10 +30,25 @@ from ..errors import ConfigError, HardwareError, QueueFullError
 from ..sim import Environment, Event, Resource, Tally, ThroughputMeter
 from .platform import GB, NVMeSpec
 
-__all__ = ["NVMeCommand", "NVMeDevice", "READ", "WRITE"]
+__all__ = [
+    "NVMeCommand",
+    "NVMeDevice",
+    "READ",
+    "WRITE",
+    "STATUS_OK",
+    "STATUS_MEDIA_ERROR",
+    "STATUS_TIMEOUT",
+    "STATUS_ABORTED_RESET",
+]
 
 READ = "read"
 WRITE = "write"
+
+#: Completion statuses shared by NVMe commands and SPDK requests.
+STATUS_OK = "ok"
+STATUS_MEDIA_ERROR = "media_error"
+STATUS_TIMEOUT = "timeout"
+STATUS_ABORTED_RESET = "aborted_reset"
 
 #: Logical block size used for address validation.
 BLOCK_SIZE = 512
@@ -52,10 +67,16 @@ class NVMeCommand:
     tag: Optional[object] = None
     submit_time: float = 0.0
     complete_time: float = 0.0
+    #: Completion status (``STATUS_OK`` unless a fault was injected).
+    status: str = STATUS_OK
 
     @property
     def latency(self) -> float:
         return self.complete_time - self.submit_time
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
 
 
 class NVMeDevice:
@@ -77,6 +98,9 @@ class NVMeDevice:
             raise ConfigError("device capacity must be positive")
         self.name = name or f"nvme{next(self._ids)}"
         self.capacity = capacity
+        #: Optional fault injector (see :mod:`repro.faults`); ``None``
+        #: keeps the healthy fast path with zero overhead.
+        self.injector = None
         self._cmd_proc = Resource(env, capacity=1, name=f"{self.name}.cmdproc")
         self._data_pipe = Resource(env, capacity=1, name=f"{self.name}.data")
         self._outstanding = 0
@@ -94,6 +118,10 @@ class NVMeDevice:
     def bandwidth_utilization(self) -> float:
         """Fraction of the data pipe kept busy since t=0."""
         return self._data_pipe.utilization()
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to this device."""
+        self.injector = injector
 
     def register_queue(self) -> None:
         """Declare one more active submission queue.
@@ -160,17 +188,40 @@ class NVMeDevice:
 
     # -- service -----------------------------------------------------------------
     def _service(self, cmd: NVMeCommand) -> Generator[Event, Any, None]:
+        fault = None
+        if self.injector is not None and cmd.op == READ:
+            fault = self.injector.nvme_fault(self.name, self.env.now)
         # 1. command processing (serialized: the IOPS ceiling)
         yield from self._cmd_proc.hold(self.effective_cmd_overhead)
+        if fault is not None:
+            kind, extra = fault
+            if kind == "media_error":
+                # The media access fails after its latency; no data moves.
+                yield self.env.timeout(self.spec.read_latency)
+                self._complete(cmd, STATUS_MEDIA_ERROR)
+                return
+            if kind == "timeout":
+                # The command wedges inside the controller before it
+                # surfaces — far past any sane client deadline.
+                yield self.env.timeout(self.spec.read_latency + extra)
+                self._complete(cmd, STATUS_TIMEOUT)
+                return
+            # Hiccup: a latency spike on an otherwise-healthy read.
+            yield self.env.timeout(extra)
         # 2. media access latency (paid concurrently across commands)
         yield self.env.timeout(self.spec.read_latency)
         # 3. data movement (serialized on the device's bandwidth)
         yield from self._data_pipe.hold(self.spec.transfer_time(cmd.nbytes))
+        self._complete(cmd, STATUS_OK)
+
+    def _complete(self, cmd: NVMeCommand, status: str) -> None:
+        cmd.status = status
         cmd.complete_time = self.env.now
         self._outstanding -= 1
         self.latency.observe(cmd.latency)
-        meter = self.read_meter if cmd.op == READ else self.write_meter
-        meter.record(nbytes=cmd.nbytes)
+        if status == STATUS_OK:
+            meter = self.read_meter if cmd.op == READ else self.write_meter
+            meter.record(nbytes=cmd.nbytes)
         cmd.completion.succeed(cmd)
 
     def __repr__(self) -> str:

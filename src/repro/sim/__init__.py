@@ -13,7 +13,7 @@ Public surface:
 
 from .engine import AllOf, AnyOf, Environment, Event, Process, Timeout
 from .resources import Container, PriorityResource, Request, Resource, Store
-from .stats import Counter, Tally, ThroughputMeter, TimeWeighted
+from .stats import Counter, RecoveryStats, Tally, ThroughputMeter, TimeWeighted
 
 __all__ = [
     "Environment",
@@ -31,4 +31,5 @@ __all__ = [
     "TimeWeighted",
     "Counter",
     "ThroughputMeter",
+    "RecoveryStats",
 ]

@@ -26,7 +26,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from ..errors import SimulationError, InterruptedProcess
+from ..errors import DeadlockError, SimulationError, InterruptedProcess
 
 __all__ = [
     "Environment",
@@ -418,7 +418,7 @@ class Environment:
                     break
                 self.step()
             if not stop.triggered:
-                raise SimulationError(
+                raise DeadlockError(
                     "run(until=event): event queue drained before the "
                     "target event fired (deadlock?)"
                 )

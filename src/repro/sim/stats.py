@@ -11,7 +11,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-__all__ = ["Tally", "TimeWeighted", "Counter", "ThroughputMeter"]
+__all__ = ["Tally", "TimeWeighted", "Counter", "ThroughputMeter", "RecoveryStats"]
 
 
 class Tally:
@@ -154,6 +154,62 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"<Counter {self._counts!r}>"
+
+
+class RecoveryStats:
+    """Failure-recovery accounting for one datapath client.
+
+    Named monotonic counters (retries, timeouts, resets, media errors,
+    aborted requests, failed samples, ...) plus a *degraded-mode* clock:
+    the total simulated time during which at least one of the client's
+    qpairs was disconnected.  ``enter_degraded``/``exit_degraded`` nest —
+    two concurrently-down qpairs count the overlapping window once.
+    """
+
+    def __init__(self, env, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self.counts = Counter()
+        self._down = 0
+        self._since = 0.0
+        self._accum = 0.0
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self.counts.incr(key, amount)
+
+    def __getitem__(self, key: str) -> int:
+        return self.counts[key]
+
+    @property
+    def degraded_depth(self) -> int:
+        """Number of currently-degraded components (0 = healthy)."""
+        return self._down
+
+    def enter_degraded(self) -> None:
+        if self._down == 0:
+            self._since = self.env.now
+        self._down += 1
+
+    def exit_degraded(self) -> None:
+        if self._down <= 0:
+            raise ValueError(f"recovery stats {self.name!r}: not degraded")
+        self._down -= 1
+        if self._down == 0:
+            self._accum += self.env.now - self._since
+
+    @property
+    def degraded_time(self) -> float:
+        """Seconds spent degraded, including any still-open window."""
+        open_window = (self.env.now - self._since) if self._down > 0 else 0.0
+        return self._accum + open_window
+
+    def as_dict(self) -> dict:
+        out: dict = dict(self.counts.as_dict())
+        out["degraded_time"] = self.degraded_time
+        return out
+
+    def __repr__(self) -> str:
+        return f"<RecoveryStats {self.name!r} {self.counts.as_dict()!r}>"
 
 
 class ThroughputMeter:

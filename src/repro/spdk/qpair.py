@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional, Union
 
-from ..errors import ConfigError, QueueFullError
-from ..hw import NVMeDevice
+from ..errors import ConfigError, QPairResetError, QueueFullError
+from ..hw import NVMeDevice, STATUS_ABORTED_RESET, STATUS_OK
 from ..sim import Environment, Event, Store, Tally
 from .request import SPDKRequest
 from .target import NVMeoFTarget
@@ -61,7 +61,15 @@ class IOQPair:
         self._inflight = 0
         self.posted = 0
         self.completed = 0
+        self.resets = 0
         self.latency = Tally(f"{self.name}.latency")
+        #: Disconnect/reset lifecycle: a reset disconnects the qpair,
+        #: aborts everything in flight back to the sink, and bumps the
+        #: generation so stale device completions are dropped.
+        self.connected = True
+        self._generation = 0
+        #: request -> generation for every live in-flight request.
+        self._live: dict[SPDKRequest, int] = {}
 
     # -- introspection --------------------------------------------------------
     @property
@@ -70,7 +78,13 @@ class IOQPair:
 
     @property
     def free_slots(self) -> int:
+        if not self.connected:
+            return 0
         return self.queue_depth - self._inflight
+
+    @property
+    def generation(self) -> int:
+        return self._generation
 
     # -- submission -------------------------------------------------------------
     def post(self, request: SPDKRequest) -> None:
@@ -78,8 +92,11 @@ class IOQPair:
 
         Raises :class:`QueueFullError` at the queue-depth limit — SPDK
         returns ``-ENOMEM`` and the caller must pace itself, which the
-        DLFS backend does via ``free_slots``.
+        DLFS backend does via ``free_slots``.  Raises
+        :class:`QPairResetError` while disconnected.
         """
+        if not self.connected:
+            raise QPairResetError(f"{self.name}: qpair is disconnected")
         if self._inflight >= self.queue_depth:
             raise QueueFullError(
                 f"{self.name}: queue depth {self.queue_depth} reached"
@@ -87,27 +104,84 @@ class IOQPair:
         self._inflight += 1
         self.posted += 1
         request.submit_time = self.env.now
-        self.env.process(self._fly(request), name=f"{self.name}.io")
+        request.status = None
+        request.attempts += 1
+        self._live[request] = self._generation
+        self.env.process(
+            self._fly(request, self._generation), name=f"{self.name}.io"
+        )
 
-    def _fly(self, request: SPDKRequest) -> Generator[Event, Any, None]:
-        if self.is_remote:
-            yield from self.target.serve_read(
-                self.client_host, request.offset, request.nbytes
-            )
-        else:
-            cmd = self.target.read(request.offset, request.nbytes)
-            yield cmd.completion
+    def _fly(
+        self, request: SPDKRequest, generation: int
+    ) -> Generator[Event, Any, None]:
+        status = STATUS_OK
+        stale = False
+        try:
+            if self.is_remote:
+                status = yield from self.target.serve_read(
+                    self.client_host, request.offset, request.nbytes
+                )
+                status = status or STATUS_OK
+            else:
+                cmd = self.target.read(request.offset, request.nbytes)
+                yield cmd.completion
+                status = cmd.status
+        finally:
+            # Depth accounting must survive faults: whether the service
+            # path returned, raised, or was aborted by a reset, this
+            # request's queue slot is reclaimed exactly once.  A reset
+            # reclaims it eagerly (generation mismatch marks this
+            # completion stale) — and if the request was *re-posted* by
+            # then, the live entry belongs to the new attempt, so only a
+            # generation match may remove it.
+            stale = self._live.get(request) != generation
+            if not stale:
+                del self._live[request]
+                self._inflight -= 1
+        if stale:
+            return  # reset already delivered ABORTED_RESET for it
+        request.status = status
         request.complete_time = self.env.now
-        # Data valid in the request's hugepage chunks.
-        remaining = request.nbytes
-        for chunk in request.chunks:
-            filled = min(chunk.size, remaining)
-            chunk.valid_bytes = filled
-            remaining -= filled
-        self._inflight -= 1
+        if status == STATUS_OK:
+            # Data valid in the request's hugepage chunks.
+            remaining = request.nbytes
+            for chunk in request.chunks:
+                filled = min(chunk.size, remaining)
+                chunk.valid_bytes = filled
+                remaining -= filled
         self.completed += 1
         self.latency.observe(request.latency)
         self.completion_sink.put(request)
 
+    # -- reset / reconnect lifecycle ---------------------------------------------
+    def reset(self) -> list[SPDKRequest]:
+        """Disconnect and abort all in-flight requests.
+
+        Every aborted request is delivered to the completion sink with
+        ``STATUS_ABORTED_RESET`` so the reactor can requeue it; the
+        underlying device/fabric activity keeps running but its eventual
+        completion is dropped as stale (generation mismatch).  The qpair
+        accepts no new posts until :meth:`reconnect`.
+        """
+        aborted = list(self._live)
+        self._live.clear()
+        self._generation += 1
+        self.connected = False
+        self.resets += 1
+        now = self.env.now
+        for request in aborted:
+            self._inflight -= 1
+            request.status = STATUS_ABORTED_RESET
+            request.complete_time = now
+            self.completion_sink.put(request)
+        return aborted
+
+    def reconnect(self) -> None:
+        """Bring a disconnected qpair back into service."""
+        if self.connected:
+            raise ConfigError(f"{self.name}: qpair is already connected")
+        self.connected = True
+
     def __repr__(self) -> str:
-        return f"<IOQPair {self.name!r} {self._inflight}/{self.queue_depth}>"
+        state = "" if self.connected else " DISCONNECTED"
+        return f"<IOQPair {self.name!r} {self._inflight}/{self.queue_depth}{state}>"

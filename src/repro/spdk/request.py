@@ -54,6 +54,13 @@ class SPDKRequest:
     request_id: int = field(default_factory=lambda: next(SPDKRequest._ids))
     submit_time: float = 0.0
     complete_time: float = 0.0
+    #: Completion status (``None`` while in flight; ``"ok"`` or a fault
+    #: status from :mod:`repro.hw.nvme` once completed).
+    status: Optional[str] = None
+    #: Times this request has been posted to a qpair (resets + retries).
+    attempts: int = 0
+    #: Fault retries consumed against the recovery policy's budget.
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.nbytes <= 0:

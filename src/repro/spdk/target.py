@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from ..errors import ConfigError
-from ..hw import Fabric, NVMeDevice
+from ..hw import Fabric, NVMeDevice, STATUS_OK
 from ..hw.platform import USEC
 from ..sim import Environment, Event, Resource, ThroughputMeter
 
@@ -47,16 +47,28 @@ class NVMeoFTarget:
         #: The target reactor handles one command capsule at a time.
         self._reactor = Resource(env, capacity=1, name=f"{self.name}.reactor")
         self.meter = ThroughputMeter(env, name=f"{self.name}.served")
+        #: Optional fault injector (see :mod:`repro.faults`).
+        self.injector = None
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to this target."""
+        self.injector = injector
 
     def serve_read(
         self, client_host: str, offset: int, nbytes: int
-    ) -> Generator[Event, Any, None]:
+    ) -> Generator[Event, Any, str]:
         """Full remote-read service: capsule in, device read, RDMA data out.
 
         Process helper run from the client qpair's in-flight command.
-        Completes when the data has landed in the client's buffer.
+        Completes when the data has landed in the client's buffer (or
+        the device reported a failure); returns the completion status.
         """
         spec = self.fabric.spec
+        if self.injector is not None:
+            # A lost command capsule is retransmitted after a stall.
+            stall = self.injector.nvmf_fault(self.name, self.env.now)
+            if stall is not None:
+                yield self.env.timeout(stall)
         # Command capsule travels client -> target.
         yield from self.fabric.transfer(client_host, self.host, CAPSULE_BYTES)
         # NVMe-oF protocol adds a few microseconds over raw RDMA.
@@ -66,9 +78,14 @@ class NVMeoFTarget:
             yield from self._reactor.hold(self.cmd_overhead)
         cmd = self.device.read(offset, nbytes)
         yield cmd.completion
+        if cmd.status != STATUS_OK:
+            # No data to return; the error status rides the response
+            # capsule back to the client qpair.
+            return cmd.status
         # Data is RDMA-written straight into the client's hugepages.
         yield from self.fabric.rdma_write(self.host, client_host, nbytes)
         self.meter.record(nbytes=nbytes)
+        return STATUS_OK
 
     def reactor_utilization(self) -> float:
         return self._reactor.utilization()

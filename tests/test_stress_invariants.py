@@ -9,12 +9,14 @@ from repro.cluster import Cluster
 from repro.core import DLFS, DLFSConfig
 from repro.data import Dataset, imdb_like
 from repro.errors import HardwareError, QueueFullError
+from repro.faults import FaultPlan, RecoveryPolicy
 from repro.hw import KB, MB, NVMeDevice, NVMeSpec, Testbed
 from repro.sim import Environment
 
 
 def run_workload(mode, n, size, batches, batch, seed, zero_copy=False,
-                 hugepage_bytes=None, num_nodes=1, window=8):
+                 hugepage_bytes=None, num_nodes=1, window=8,
+                 fault_plan=None, recovery=None):
     """Run a bread workload; return (client, cluster, delivered list)."""
     env = Environment()
     testbed = Testbed.paper() if num_nodes == 1 else Testbed.paper_emulated()
@@ -25,7 +27,8 @@ def run_workload(mode, n, size, batches, batch, seed, zero_copy=False,
     ds = Dataset.fixed("stress", n, size, seed=seed)
     fs = DLFS.mount(
         cluster, ds,
-        DLFSConfig(batching=mode, zero_copy=zero_copy, window=window),
+        DLFSConfig(batching=mode, zero_copy=zero_copy, window=window,
+                   fault_plan=fault_plan, recovery=recovery),
     )
     client = fs.client(rank=0, num_ranks=1)
     client.sequence(seed=seed)
@@ -215,3 +218,71 @@ class TestFailurePaths:
             return n
 
         assert env.run(until=env.process(app(env))) == 1 * KB
+
+
+class TestChaosInvariants:
+    """The delivery/conservation invariants must survive fault injection:
+    media errors, injected timeouts, and periodic qpair resets (the
+    ISSUE's chaos acceptance run)."""
+
+    CHAOS = FaultPlan(
+        seed=11, media_error_rate=0.01, timeout_rate=0.002,
+        qpair_reset_period=1e-3,
+    )
+
+    def _chaos_run(self, mode, n, size, batches, batch, seed, **kw):
+        return run_workload(
+            mode, n, size, batches=batches, batch=batch, seed=seed,
+            fault_plan=self.CHAOS, recovery=RecoveryPolicy(max_retries=6),
+            **kw,
+        )
+
+    @pytest.mark.parametrize("mode", ["sample", "chunk"])
+    def test_no_duplicates_and_exact_accounting(self, mode):
+        client, cluster, delivered = self._chaos_run(
+            mode, 300, 4 * KB, batches=1000, batch=32, seed=21
+        )
+        # No duplicates, no invented samples, even across retries/resets.
+        assert len(delivered) == len(set(delivered))
+        assert all(0 <= s < 300 for s in delivered)
+        # Error accounting sums: every demanded sample was delivered or
+        # reported failed, none lost silently.
+        stats = client.recovery_stats
+        assert client.samples_delivered + stats["failed_samples"] == len(delivered)
+
+    def test_no_chunk_leaks_across_aborted_requests(self):
+        """Hugepage-chunk conservation under chaos: aborted and failed
+        requests must hand their cache chunks back."""
+        client, cluster, delivered = self._chaos_run(
+            "chunk", 400, 4 * KB, batches=1000, batch=20, seed=22,
+            hugepage_bytes=4 * 256 * KB, window=2,
+        )
+        assert client.recovery_stats["resets"] > 0  # chaos actually hit
+        pool = cluster.node(0).hugepages
+        cache = client.cache
+        held = sum(len(cache.slot(k).chunks) for k in list(cache._slots))
+        assert pool.free_chunks + held == pool.num_chunks
+        for key in list(cache._slots):
+            assert cache.slot(key).refs == 0
+
+    def test_chaos_run_is_deterministic(self):
+        a = self._chaos_run("chunk", 256, 2 * KB, batches=16, batch=32, seed=23)
+        b = self._chaos_run("chunk", 256, 2 * KB, batches=16, batch=32, seed=23)
+        assert a[2] == b[2]
+        assert (a[0].fs.injector.trace_signature()
+                == b[0].fs.injector.trace_signature())
+        assert a[0].recovery_stats.as_dict() == b[0].recovery_stats.as_dict()
+
+    def test_total_media_failure_degrades_gracefully(self):
+        """media_error_rate=1.0: nothing is deliverable, yet every batch
+        completes and every sample is accounted as failed."""
+        client, cluster, delivered = run_workload(
+            "sample", 96, 4 * KB, batches=3, batch=32, seed=24,
+            fault_plan=FaultPlan(seed=5, media_error_rate=1.0),
+            recovery=RecoveryPolicy(max_retries=2),
+        )
+        assert client.samples_delivered == 0
+        assert client.failed_samples == 96
+        assert client.recovery_stats["budget_exhausted"] > 0
+        report = client.error_report()
+        assert report["failed_samples"] == 96
