@@ -14,8 +14,9 @@ a CI smoke test::
 import argparse
 import sys
 
-from repro.bench.workloads import dlfs_chaos
+from repro.bench.workloads import dlfs_chaos, dlfs_observed
 from repro.faults import FaultPlan, ZERO_PLAN
+from repro.obs import render_percentiles
 
 #: Per-command media-error rates swept (0.0 = the pay-for-use baseline).
 RATES = (0.0, 0.001, 0.01, 0.05)
@@ -69,6 +70,15 @@ def render(rows) -> str:
     return "\n".join(lines)
 
 
+def observed_percentiles(num_samples: int = 512, rate: float = 0.01) -> str:
+    """Per-layer latency panel from one observed fault-injected run."""
+    r = dlfs_observed(
+        samples=num_samples, sample_bytes=4096, mode="sample",
+        fault_plan=plan_for(rate), trace=False, metrics=True,
+    )
+    return render_percentiles(r.obs.metrics)
+
+
 def test_chaos_sweep(benchmark, capsys):
     from conftest import run_once
 
@@ -76,6 +86,8 @@ def test_chaos_sweep(benchmark, capsys):
     with capsys.disabled():
         print()
         print(render(rows))
+        print()
+        print(observed_percentiles())
     baseline = rows[0][1]
     # The zero plan is fault-free: no losses, no recovery activity.
     assert baseline.failed == 0
@@ -97,9 +109,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.smoke:
         rows = run_sweep(num_samples=256, epochs=1)
+        percentiles = observed_percentiles(num_samples=256)
     else:
         rows = run_sweep()
+        percentiles = observed_percentiles()
     print(render(rows))
+    print()
+    print(percentiles)
     print("accounting: OK (delivered + failed == expected at every rate)")
     return 0
 

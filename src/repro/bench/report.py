@@ -12,7 +12,12 @@ from typing import Iterable
 
 from .figures import FigureResult
 
-__all__ = ["render_figure", "render_headline", "format_quantity"]
+__all__ = [
+    "render_figure",
+    "render_headline",
+    "render_metrics_summary",
+    "format_quantity",
+]
 
 
 def format_quantity(value) -> str:
@@ -83,3 +88,28 @@ def render_headline(result: FigureResult) -> str:
 
 def render_many(results: Iterable[FigureResult]) -> str:
     return "\n\n".join(render_figure(r) for r in results)
+
+
+def render_metrics_summary(dump: dict) -> str:
+    """Summarize a :meth:`repro.obs.MetricsRegistry.dump` JSON object.
+
+    Works on the in-memory dict or one reloaded from ``metrics.json``,
+    so benchmark reports can fold a prior observed run's metrics in.
+    """
+    if not dump:
+        return "-- metrics: (none recorded) --"
+    lines = [f"-- metrics @ t={dump.get('now', 0.0):.6g}s --"]
+    for name, value in sorted(dump.get("counters", {}).items()):
+        lines.append(f"  counter  {name:<34} {format_quantity(value)}")
+    for name, h in sorted(dump.get("histograms", {}).items()):
+        lines.append(
+            f"  hist     {name:<34} n={h['count']} "
+            f"p50={format_quantity(h['p50'])}s p99={format_quantity(h['p99'])}s"
+        )
+    for name, stages in sorted(dump.get("layers", {}).items()):
+        busy = sum(stages.values())
+        lines.append(f"  layers   {name:<34} busy={format_quantity(busy)}s")
+    snapshots = dump.get("snapshots", [])
+    if snapshots:
+        lines.append(f"  snapshots {len(snapshots)} points")
+    return "\n".join(lines)

@@ -47,8 +47,10 @@ __all__ = [
     "dlfs_disaggregated",
     "tf_ingest_throughput",
     "dlfs_chaos",
+    "dlfs_observed",
     "Result",
     "ChaosResult",
+    "TraceReport",
 ]
 
 DEFAULT_SEED = 42
@@ -93,6 +95,30 @@ class ChaosResult:
     def accounted(self) -> bool:
         """Does the error accounting sum up exactly?"""
         return self.delivered + self.failed == self.expected
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """One observed run (:func:`dlfs_observed`)."""
+
+    #: Delivered samples per simulated second (aggregate).
+    sample_throughput: float
+    #: Samples delivered across all clients.
+    delivered: int
+    #: Samples lost to unrecoverable faults.
+    failed: int
+    #: Final simulated time (application window + teardown drain).
+    sim_time: float
+    #: Every delivered batch's sample indices, concatenated in delivery
+    #: order — the determinism witness (traced == untraced, exactly).
+    samples_read: np.ndarray
+    #: The :class:`repro.obs.Observability` bundle (tracer + metrics);
+    #: null objects when the run was not observed.
+    obs: object
+    #: Reactor lane names, for per-lane latency attribution.
+    reactor_names: tuple
+    #: Merged recovery accounting over all clients.
+    recovery: dict
 
 
 def _bread_rolling(client, batch: int, state: dict):
@@ -619,6 +645,96 @@ def dlfs_chaos(
         fault_counts=(
             fs.injector.counts.as_dict() if fs.injector is not None else {}
         ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Observed driver (tracing + metrics + latency attribution)
+# ---------------------------------------------------------------------------
+
+def dlfs_observed(
+    samples: int = 2000,
+    sample_bytes: int = 16 * 1024,
+    batch: int = 32,
+    mode: str = "chunk",
+    num_nodes: int = 1,
+    trace: bool = True,
+    metrics: bool = True,
+    snapshot_period: float = 0.0,
+    fault_plan: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    seed: int = DEFAULT_SEED,
+    queue_depth: int = 128,
+    testbed: Optional[Testbed] = None,
+) -> TraceReport:
+    """One DLFS run with the observability subsystem attached.
+
+    Drives ``samples`` total sample reads (rolling over epochs as a
+    training loop does), then shuts the clients down cleanly.  With
+    ``trace``/``metrics`` off this is the exact same simulation — the
+    returned ``samples_read`` order and ``sim_time`` are bit-identical,
+    which is what the determinism test in ``tests/test_obs.py`` checks.
+    """
+    env = Environment()
+    cluster = Cluster(
+        env,
+        testbed or (Testbed.paper() if num_nodes == 1 else Testbed.paper_emulated()),
+        num_nodes=num_nodes, devices_per_node=1,
+    )
+    ds = _dataset(max(2 * samples, 2000), sample_bytes)
+    config = DLFSConfig(
+        batching=mode, queue_depth=queue_depth,
+        fault_plan=fault_plan, recovery=recovery,
+        trace=trace, metrics=metrics, snapshot_period=snapshot_period,
+    )
+    fs = DLFS.mount(cluster, ds, config)
+    clients = [
+        fs.client(rank=r, num_ranks=num_nodes, node=cluster.node(r))
+        for r in range(num_nodes)
+    ]
+    for c in clients:
+        c.sequence(seed=seed)
+    per_client = samples // num_nodes
+    read_log: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * num_nodes
+
+    def app(env, client):
+        state = {}
+        done = 0
+        chunks = []
+        while done < per_client:
+            got = yield from _bread_rolling(
+                client, min(batch, per_client - done), state
+            )
+            chunks.append(np.asarray(got, dtype=np.int64))
+            done += len(got)
+        read_log[client.rank] = np.concatenate(chunks)
+
+    procs = [env.process(app(env, c), name=f"obs{c.rank}") for c in clients]
+    env.run(until=env.all_of(procs))
+    app_time = env.now
+
+    def teardown(env):
+        for c in clients:
+            yield from c.shutdown()
+
+    env.run(until=env.process(teardown(env), name="obs.teardown"))
+    env.run()  # drain trailing timers (watchdogs, reset drivers)
+
+    delivered = sum(c.samples_delivered for c in clients)
+    failed = sum(c.failed_samples for c in clients)
+    recovery_merged: dict = {}
+    for c in clients:
+        for key, value in c.recovery_stats.as_dict().items():
+            recovery_merged[key] = recovery_merged.get(key, 0) + value
+    return TraceReport(
+        sample_throughput=delivered / app_time if app_time > 0 else 0.0,
+        delivered=delivered,
+        failed=failed,
+        sim_time=env.now,
+        samples_read=np.concatenate(read_log),
+        obs=fs.obs,
+        reactor_names=tuple(c.reactor.name for c in clients),
+        recovery=recovery_merged,
     )
 
 

@@ -16,6 +16,13 @@ the quickest way to check the reproduction end to end.
 
     python -m repro chaos --fault-plan media=0.01,reset_period=0.002
     python -m repro chaos --fault-plan '{"media_error_rate": 0.05}' --epochs 3
+
+``trace`` runs one observed workload and exports the observability
+artifacts: a Perfetto-loadable Chrome trace, the JSON metrics dump, and
+the per-layer latency attribution / percentile tables::
+
+    python -m repro trace --samples 2000
+    python -m repro trace --fault-plan media=0.02,reset_period=0.002 --out results/trace
 """
 
 from __future__ import annotations
@@ -111,6 +118,26 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--seed", type=int, default=None,
                          help="override the plan's fault seed")
 
+    p_trace = sub.add_parser(
+        "trace", help="observed run: Chrome trace + latency attribution"
+    )
+    p_trace.add_argument("--samples", type=int, default=2000,
+                         help="total sample reads to drive (default 2000)")
+    p_trace.add_argument("--size", type=int, default=16 * 1024,
+                         help="sample size in bytes (default 16384)")
+    p_trace.add_argument("--nodes", type=int, default=1)
+    p_trace.add_argument("--batching", default="chunk",
+                         choices=("none", "sample", "chunk"))
+    p_trace.add_argument(
+        "--fault-plan", default="zero",
+        help="fault plan as for 'chaos'; default 'zero' (healthy run)",
+    )
+    p_trace.add_argument("--snapshot-period", type=float, default=0.0,
+                         help="metrics time-series period in sim seconds")
+    p_trace.add_argument("--out", type=pathlib.Path,
+                         default=pathlib.Path("results/trace"),
+                         help="output directory (default results/trace)")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -166,6 +193,63 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"recovery {key:<17} {value}")
         print(f"\n[chaos in {time.time() - t0:.1f}s]")
         return 0 if r.accounted else 1
+
+    if args.command == "trace":
+        from .bench.workloads import dlfs_observed
+        from .errors import ConfigError
+        from .faults import parse_fault_plan
+        from .obs import (
+            render_breakdown,
+            render_percentiles,
+            write_chrome_trace,
+            write_metrics,
+        )
+
+        try:
+            plan = parse_fault_plan(args.fault_plan)
+        except ConfigError as exc:
+            print(f"error: --fault-plan: {exc}", file=sys.stderr)
+            return 2
+        t0 = time.time()
+        r = dlfs_observed(
+            samples=args.samples,
+            sample_bytes=args.size,
+            num_nodes=args.nodes,
+            mode=args.batching,
+            fault_plan=None if plan.is_zero else plan,
+            snapshot_period=args.snapshot_period,
+        )
+        trace_path = write_chrome_trace(r.obs.tracer, args.out / "trace.json")
+        metrics_path = write_metrics(r.obs.metrics, args.out / "metrics.json")
+        tables = []
+        for name in r.reactor_names:
+            tables.append(
+                render_breakdown(r.obs.metrics.layers(name), r.sim_time)
+            )
+        tables.append(render_percentiles(r.obs.metrics))
+        breakdown_text = "\n\n".join(tables)
+        (args.out / "breakdown.txt").write_text(breakdown_text + "\n")
+        print(f"== trace: {args.nodes} node(s), {r.delivered} samples "
+              f"x {args.size} B ==")
+        print(f"throughput        {r.sample_throughput:,.0f} samples/s")
+        print(f"sim time          {r.sim_time * 1e3:.3f} ms")
+        print(f"spans             {len(r.obs.tracer.spans)}")
+        if r.failed:
+            print(f"failed samples    {r.failed}")
+        for key, value in sorted(r.recovery.items()):
+            if not value:
+                continue
+            if key == "degraded_time":
+                print(f"recovery degraded_time     {value * 1e3:.3f} ms")
+            else:
+                print(f"recovery {key:<17} {value}")
+        print()
+        print(breakdown_text)
+        print(f"\nwrote {trace_path} (load in https://ui.perfetto.dev)")
+        print(f"wrote {metrics_path}")
+        print(f"wrote {args.out / 'breakdown.txt'}")
+        print(f"[trace in {time.time() - t0:.1f}s]")
+        return 0
 
     if args.command in ("all", "claims"):
         headline_only = args.command == "claims"

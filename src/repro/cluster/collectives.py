@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Generator, Sequence
 
 from ..errors import ConfigError
+from ..obs import NULL_TRACER
 from ..sim import Event
 from .node import Cluster
 
@@ -35,6 +36,12 @@ class Communicator:
         self.cluster = cluster
         self.env = cluster.env
         self.size = len(cluster)
+        #: Observability (null object until install_observability).
+        self.tracer = NULL_TRACER
+
+    def install_observability(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle."""
+        self.tracer = obs.tracer
 
     # -- internals ----------------------------------------------------------
     def _name(self, rank: int) -> str:
@@ -52,6 +59,11 @@ class Communicator:
         """Dissemination barrier: ceil(log2 P) rounds of control messages."""
         if self.size == 1:
             return
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "barrier", track="cluster", cat="collective", ranks=self.size
+            )
         round_dist = 1
         while round_dist < self.size:
             transfers = [
@@ -63,6 +75,8 @@ class Communicator:
             ]
             yield self.env.all_of(transfers)
             round_dist *= 2
+        if span is not None:
+            span.finish()
 
     def broadcast(
         self, root: int, value: Any, nbytes: int
@@ -71,6 +85,12 @@ class Communicator:
         self._name(root)  # validate
         if self.size == 1:
             return [value]
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "broadcast", track="cluster", cat="collective",
+                ranks=self.size, nbytes=nbytes,
+            )
         # Ranks relative to root: rank 0 holds the data initially.
         have = {0}
         dist = 1
@@ -92,6 +112,8 @@ class Communicator:
             if transfers:
                 yield self.env.all_of(transfers)
             dist *= 2
+        if span is not None:
+            span.finish()
         return [value] * self.size
 
     def allgather(
@@ -111,6 +133,12 @@ class Communicator:
             )
         if self.size == 1:
             return [list(values)]
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "allgather", track="cluster", cat="collective",
+                ranks=self.size, nbytes=int(sum(nbytes_each)),
+            )
         # Ring: in step s, rank r sends segment (r - s) mod P to rank r+1.
         for step in range(self.size - 1):
             transfers = []
@@ -124,6 +152,8 @@ class Communicator:
                     )
                 )
             yield self.env.all_of(transfers)
+        if span is not None:
+            span.finish()
         return [list(values) for _ in range(self.size)]
 
     def __repr__(self) -> str:

@@ -33,6 +33,7 @@ from ..errors import ConfigError, InvalidHandle, NotMounted
 from ..faults import FaultInjector, FaultPlan, RecoveryPolicy
 from ..hw import MB, NVMeDevice
 from ..hw.cpu import BoundThread
+from ..obs import OBS_OFF, Observability
 from ..sim import Event, Store
 from ..spdk import IOQPair, NVMeoFTarget, SPDKDriver
 from .batching import ChunkEpoch, ChunkPlan, delivery_order
@@ -91,6 +92,16 @@ class DLFSConfig:
     #: Recovery policy for the reactors.  ``None`` with a non-zero
     #: fault plan resolves to ``RecoveryPolicy()`` defaults.
     recovery: Optional[RecoveryPolicy] = None
+    #: Observability (:mod:`repro.obs`): record end-to-end spans for
+    #: every datapath operation (Chrome-trace exportable).  Off keeps
+    #: the datapath bit-identical to an uninstrumented build.
+    trace: bool = False
+    #: Observability: collect counters/histograms/layer attribution in
+    #: a unified :class:`repro.obs.MetricsRegistry`.
+    metrics: bool = False
+    #: Metrics time-series snapshot period in simulated seconds
+    #: (0 = no periodic snapshots).  Pull-based — never extends a run.
+    snapshot_period: float = 0.0
 
     def validate(self) -> None:
         if self.batching not in (BATCH_NONE, BATCH_SAMPLE, BATCH_CHUNK):
@@ -99,6 +110,8 @@ class DLFSConfig:
             raise ConfigError("queue_depth, window, batch_per_rank must be >= 1")
         if self.injected_compute < 0 or self.select_overhead < 0:
             raise ConfigError("overheads must be >= 0")
+        if self.snapshot_period < 0:
+            raise ConfigError("snapshot_period must be >= 0")
         if self.fault_plan is not None:
             self.fault_plan.validate()
         if self.recovery is not None:
@@ -195,6 +208,26 @@ class DLFS:
                 device.install_fault_injector(self.injector)
             for target in self.targets:
                 target.install_fault_injector(self.injector)
+        # Observability mirrors the injector's install pattern: one
+        # bundle per instance, wired onto every datapath component; the
+        # default (both off) shares the null bundle and installs nothing.
+        self.obs: Observability = OBS_OFF
+        if self.config.trace or self.config.metrics:
+            self.obs = Observability(
+                self.env,
+                trace=self.config.trace,
+                metrics=self.config.metrics,
+                snapshot_period=self.config.snapshot_period,
+            )
+            cluster.fabric.install_observability(self.obs)
+            for node_idx, dev_idx in placement:
+                node = cluster.node(node_idx)
+                device = node.devices[dev_idx]
+                device.install_observability(self.obs)
+                self.obs.tracer.set_process(device.name, node.name)
+            for target in self.targets:
+                target.install_observability(self.obs)
+                self.obs.tracer.set_process(target.name, target.host)
         self._clients: list["DLFSClient"] = []
         self._mounted = False
 
@@ -402,6 +435,13 @@ class DLFSClient:
             cores = [node.cpu.core(i) for i in config.copy_cores]
             pool = CopyPool(self.env, cores, kick=self.reactor._kick)
             self.reactor.copy_pool = pool
+        if fs.obs.enabled:
+            for qp in qpairs.values():
+                qp.install_observability(fs.obs)
+                fs.obs.tracer.set_process(qp.name, node.name)
+            self.reactor.install_observability(fs.obs)
+            fs.obs.tracer.set_process(self.reactor.name, node.name)
+            fs.obs.tracer.set_process(f"{self.reactor.name}.copy", node.name)
         # Zero-copy mode: cache keys lent to the application by the
         # previous batch, released when the next one is requested.
         self._lent_keys: list = []

@@ -42,6 +42,7 @@ from ..faults import FaultInjector, RecoveryPolicy
 from ..hw import STATUS_ABORTED_RESET, STATUS_MEDIA_ERROR, STATUS_OK
 from ..hw.cpu import BoundThread, Core
 from ..hw.platform import CPUSpec, NetworkSpec
+from ..obs import NULL_METRICS, NULL_TRACER
 from ..sim import Environment, Event, RecoveryStats, Store, Tally, ThroughputMeter
 from ..spdk import IOQPair, SPDKRequest, aligned_span
 from .batching import REQ_CHUNK, ChunkPlan
@@ -112,6 +113,8 @@ class ReadJob:
     #: Per-sample failures (:class:`repro.errors.SampleReadError`): the
     #: job still completes — graceful degradation — with the losses here.
     errors: list = field(default_factory=list)
+    #: Observability: the batch span covering this job (None = untraced).
+    span: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.remaining = len(self.samples)
@@ -132,7 +135,7 @@ class _PendingFetch:
     """One in-flight span: its cache slot, parts, and waiting deliveries."""
 
     __slots__ = ("key", "shard", "offset", "nbytes", "samples",
-                 "parts_remaining", "waiters", "posted", "failed")
+                 "parts_remaining", "waiters", "posted", "failed", "span")
 
     def __init__(self, key, shard: int, offset: int, nbytes: int,
                  samples: np.ndarray) -> None:
@@ -147,6 +150,8 @@ class _PendingFetch:
         #: Set to the first unrecoverable error; once set, remaining
         #: parts only count down so the span can be retired exactly once.
         self.failed: Optional[BaseException] = None
+        #: Observability: trace span covering the fetch (None = untraced).
+        self.span: Optional[object] = None
 
 
 class CopyPool:
@@ -259,6 +264,13 @@ class Reactor:
         self._stopped = env.event()
         self._stopping = False
 
+        #: Observability (null objects until install_observability).
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
+        self._layers = NULL_METRICS.layers("")
+        self._h_job = NULL_METRICS.histogram("")
+        self._c_delivered = NULL_METRICS.counter("")
+
         #: Fault injection + recovery (pay-for-use: both default off and
         #: the healthy datapath is bit-identical with them unset).
         self.injector = injector
@@ -283,6 +295,23 @@ class Reactor:
                 )
 
         self._process = env.process(self._run(), name=name)
+
+    def install_observability(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle.
+
+        Call before the simulation runs: recovery accounting is re-homed
+        onto the shared registry, which only works while all counts are
+        still zero.
+        """
+        self.tracer = obs.tracer
+        self.metrics = obs.metrics
+        self._layers = obs.metrics.layers(self.name)
+        self._h_job = obs.metrics.histogram("reactor.job_latency")
+        self._c_delivered = obs.metrics.counter("reactor.samples_delivered")
+        if obs.metrics.enabled:
+            self.recovery_stats = RecoveryStats(
+                self.env, name=f"{self.name}.recovery", registry=obs.metrics
+            )
 
     # -- frontend entry points (called from application processes) -------------
     def submit(self, job) -> None:
@@ -348,18 +377,26 @@ class Reactor:
                 raise ConfigError("LookupJob needs a name or an index")
         except Exception as exc:
             # Failed lookups surface at the caller, not in the reactor.
+            self._layers.add("prep", self.cpu.hash_cost)
             yield from self.thread.run(self.cpu.hash_cost)
             job.done.fail(exc)
             return
-        yield from self.thread.run(
-            self.cpu.hash_cost + result.visits * self.cpu.tree_node_visit
-        )
+        cost = self.cpu.hash_cost + result.visits * self.cpu.tree_node_visit
+        self._layers.add("prep", cost)
+        yield from self.thread.run(cost)
         self.lookup_time.observe(self.env.now - t0)
         job.done.succeed(result)
 
     def _on_job(self, job: ReadJob) -> Generator[Event, Any, None]:
         job.submit_time = self.env.now
+        if self.tracer.enabled:
+            job.span = self.tracer.start(
+                "reactor.batch", track=self.name, cat="reactor",
+                samples=len(job.samples),
+            )
         if len(job.samples) == 0:
+            if job.span is not None:
+                job.span.finish(delivered=0)
             job.done.succeed(job)
             return
         if job.requirements is None:
@@ -374,6 +411,7 @@ class Reactor:
             # and the fabric keep making progress; only completion
             # *processing* waits.
             yield from self._pump()
+            self._layers.add("compute", self.injected_compute)
             yield from self.thread.run(self.injected_compute)
 
     def _intake_samples(self, job: ReadJob) -> Generator[Event, Any, None]:
@@ -398,9 +436,15 @@ class Reactor:
                     key, result.shard, offset, nbytes,
                     samples=np.array([s], dtype=np.int64),
                 )
+                if self.tracer.enabled:
+                    fetch.span = self.tracer.start(
+                        "reactor.fetch", track=self.name, parent=job.span,
+                        cat="reactor", key=str(key), nbytes=nbytes,
+                    )
                 self._pending[key] = fetch
                 self._rpq[result.shard].append(fetch)
             fetch.waiters.append((job, result.length))
+        self._layers.add("prep", cost)
         yield from self.thread.run(cost)
 
     def _intake_requirements(self, job: ReadJob) -> Generator[Event, Any, None]:
@@ -416,16 +460,19 @@ class Reactor:
                 self._start_delivery(job, key, int(sizes[s]))
                 continue
             self.cache.misses += 1
-            fetch = self._ensure_fetch(key, kind, rid)
+            fetch = self._ensure_fetch(key, kind, rid, parent=job.span)
             fetch.waiters.append((job, int(sizes[s])))
         for kind, rid in job.prefetch:
             key = ("c", rid) if kind == REQ_CHUNK else ("e", rid)
             slot = self.cache.slot(key)
             if slot is None and key not in self._pending:
-                self._ensure_fetch(key, kind, rid)
+                self._ensure_fetch(key, kind, rid, parent=job.span)
+        self._layers.add("prep", cost)
         yield from self.thread.run(cost)
 
-    def _ensure_fetch(self, key, kind: int, rid: int) -> _PendingFetch:
+    def _ensure_fetch(
+        self, key, kind: int, rid: int, parent: Optional[object] = None
+    ) -> _PendingFetch:
         fetch = self._pending.get(key)
         if fetch is not None:
             return fetch
@@ -439,6 +486,11 @@ class Reactor:
             offset, nbytes = aligned_span(loc.offset, loc.length)
             samples = np.array([rid], dtype=np.int64)
         fetch = _PendingFetch(key, shard, offset, nbytes, samples)
+        if self.tracer.enabled:
+            fetch.span = self.tracer.start(
+                "reactor.fetch", track=self.name, parent=parent,
+                cat="reactor", key=str(key), nbytes=nbytes,
+            )
         self._pending[key] = fetch
         self._rpq[shard].append(fetch)
         return fetch
@@ -470,6 +522,7 @@ class Reactor:
                                 nbytes=part,
                                 chunks=[slot.chunks[ci]],
                                 tag=fetch,
+                                parent_span=fetch.span,
                             )
                         )
                         fetch.parts_remaining += 1
@@ -488,6 +541,7 @@ class Reactor:
                 if self.recovery is not None:
                     self._arm_watchdog(req)
         if cost > 0.0:
+            self._layers.add("post", cost)
             yield from self.thread.run(cost)
 
     # -- poll + copy stages -----------------------------------------------------------
@@ -496,6 +550,7 @@ class Reactor:
         if not self.use_scq:
             # No SCQ: each completion round scans every qpair's CQ.
             poll_cost *= max(len(self.qpairs), 1)
+        self._layers.add("poll", poll_cost + self.completion_overhead)
         yield from self.thread.run(poll_cost + self.completion_overhead)
         fetch: _PendingFetch = req.tag
         if self.recovery is not None and req.status != STATUS_OK:
@@ -511,6 +566,8 @@ class Reactor:
         # All parts of the span have landed: mark resident, set V bits.
         self.cache.mark_resident(fetch.key)
         self.vbits.set_valid_many(fetch.samples)
+        if fetch.span is not None:
+            fetch.span.finish(status="ok")
         del self._pending[fetch.key]
         for job, nbytes in fetch.waiters:
             self._start_delivery(job, fetch.key, nbytes)
@@ -542,6 +599,8 @@ class Reactor:
         elif status == STATUS_ABORTED_RESET:
             # Reset aborts are a recovery action, not a device fault:
             # requeue at no cost against the retry budget.
+            if fetch.span is not None:
+                fetch.span.event("requeued_after_reset")
             self._postq[fetch.shard].append(req)
         elif req.retries >= recovery.max_retries:
             self.recovery_stats.incr("budget_exhausted")
@@ -554,9 +613,14 @@ class Reactor:
             req.retries += 1
             self.recovery_stats.incr("retries")
             self._pending_retries += 1
+            delay = self._backoff_delay(req.retries)
+            if fetch.span is not None:
+                fetch.span.event(
+                    "retry_backoff", status=status, retry=req.retries,
+                    delay=delay,
+                )
             self.env.process(
-                self._retry_later(req, self._backoff_delay(req.retries)),
-                name=f"{self.name}.retry",
+                self._retry_later(req, delay), name=f"{self.name}.retry"
             )
 
     def _part_failed(self, fetch: _PendingFetch, exc: BaseException) -> None:
@@ -576,6 +640,8 @@ class Reactor:
         self._pending.pop(fetch.key, None)
         if self.cache.slot(fetch.key) is not None:
             self.cache.discard(fetch.key)
+        if fetch.span is not None:
+            fetch.span.finish(status="failed", error=str(fetch.failed))
         for job, _nbytes in fetch.waiters:
             exc = SampleReadError(
                 f"sample span {fetch.key!r} failed: {fetch.failed}",
@@ -587,6 +653,9 @@ class Reactor:
             job.remaining -= 1
             if job.remaining == 0:
                 self.job_latency.observe(self.env.now - job.submit_time)
+                self._h_job.observe(self.env.now - job.submit_time)
+                if job.span is not None:
+                    job.span.finish(errors=len(job.errors))
                 job.done.succeed(job)
         fetch.waiters.clear()
 
@@ -637,6 +706,11 @@ class Reactor:
             return  # completed (or reposted) since the timer was armed
         fetch: _PendingFetch = req.tag
         self.recovery_stats.incr("deadline_timeouts")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "deadline_miss", track=self.name, key=str(fetch.key),
+                attempt=msg.attempt,
+            )
         req.retries += 1
         if req.retries > self.recovery.max_retries and fetch.failed is None:
             fetch.failed = RequestTimeout(
@@ -750,6 +824,15 @@ class Reactor:
             cost = self.select_overhead  # no memcpy: buffer is the cache
         else:
             cost = self.select_overhead + nbytes / self.cpu.memcpy_bandwidth
+        span = None
+        if self.tracer.enabled:
+            track = (
+                f"{self.name}.copy" if self.copy_pool is not None else self.name
+            )
+            span = self.tracer.start(
+                "deliver", track=track, parent=job.span, cat="reactor",
+                key=str(key), nbytes=nbytes,
+            )
 
         def finish() -> None:
             if self.zero_copy:
@@ -757,12 +840,19 @@ class Reactor:
             else:
                 self.cache.release(key)
             self.samples_delivered += 1
+            self._c_delivered.incr()
             self.read_meter.record(nbytes=nbytes)
+            if span is not None:
+                span.finish()
             job.remaining -= 1
             if job.remaining == 0:
                 self.job_latency.observe(self.env.now - job.submit_time)
+                self._h_job.observe(self.env.now - job.submit_time)
+                if job.span is not None:
+                    job.span.finish(errors=len(job.errors))
                 job.done.succeed(job)
 
+        self._layers.add("copy", cost)
         if self.copy_pool is not None:
             self.copy_pool.submit(cost, finish)
         else:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from ..errors import ConfigError
+from ..obs import NULL_METRICS, NULL_TRACER
 from ..sim import Environment, Event, Resource, Tally, ThroughputMeter
 from .platform import NetworkSpec
 
@@ -51,10 +52,18 @@ class Fabric:
         #: Optional fault injector (see :mod:`repro.faults`); ``None``
         #: keeps the healthy fast path with zero overhead.
         self.injector = None
+        #: Observability (null objects until install_observability).
+        self.tracer = NULL_TRACER
+        self._h_latency = NULL_METRICS.histogram("")
 
     def install_fault_injector(self, injector) -> None:
         """Attach a :class:`repro.faults.FaultInjector` to this fabric."""
         self.injector = injector
+
+    def install_observability(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle."""
+        self.tracer = obs.tracer
+        self._h_latency = obs.metrics.histogram("fabric.latency")
 
     # -- topology ----------------------------------------------------------
     def attach(self, name: str) -> NIC:
@@ -76,7 +85,7 @@ class Fabric:
 
     # -- data movement -------------------------------------------------------
     def transfer(
-        self, src: str, dst: str, nbytes: int
+        self, src: str, dst: str, nbytes: int, parent: Optional[object] = None
     ) -> Generator[Event, Any, None]:
         """Move ``nbytes`` from ``src`` to ``dst`` (process helper).
 
@@ -89,11 +98,19 @@ class Fabric:
         if src == dst or nbytes == 0:
             return
         t0 = self.env.now
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "fabric.transfer", track=f"link:{src}->{dst}", parent=parent,
+                cat="fabric", nbytes=nbytes,
+            )
         if self.injector is not None:
             # A dropped transfer is re-driven after a detection stall
             # (go-back-N at the reliable-connection layer).
             stall = self.injector.link_fault(src, dst, self.env.now)
             if stall is not None:
+                if span is not None:
+                    span.event("retransmit_stall", stall=stall)
                 yield self.env.timeout(stall)
         src_nic, dst_nic = self.nic(src), self.nic(dst)
         wire_time = self.spec.transfer_time(nbytes)
@@ -112,10 +129,15 @@ class Fabric:
         yield self.env.timeout(self.spec.propagation_latency)
         src_nic.tx_meter.record(nbytes=nbytes)
         dst_nic.rx_meter.record(nbytes=nbytes)
-        self.transfer_latency.observe(self.env.now - t0)
+        latency = self.env.now - t0
+        self.transfer_latency.observe(latency)
+        self._h_latency.observe(latency)
+        if span is not None:
+            span.finish()
 
     def rdma_read(
-        self, reader: str, target: str, nbytes: int
+        self, reader: str, target: str, nbytes: int,
+        parent: Optional[object] = None,
     ) -> Generator[Event, Any, None]:
         """One-sided read: payload flows ``target -> reader``.
 
@@ -126,13 +148,14 @@ class Fabric:
         if reader != target:
             # Request message travels to the target first.
             yield self.env.timeout(self.spec.propagation_latency)
-        yield from self.transfer(target, reader, nbytes)
+        yield from self.transfer(target, reader, nbytes, parent=parent)
 
     def rdma_write(
-        self, writer: str, target: str, nbytes: int
+        self, writer: str, target: str, nbytes: int,
+        parent: Optional[object] = None,
     ) -> Generator[Event, Any, None]:
         """One-sided write: payload flows ``writer -> target``."""
-        yield from self.transfer(writer, target, nbytes)
+        yield from self.transfer(writer, target, nbytes, parent=parent)
 
     def rpc(
         self,

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
 from ..errors import ConfigError, HardwareError, QueueFullError
+from ..obs import NULL_METRICS, NULL_TRACER
 from ..sim import Environment, Event, Resource, Tally, ThroughputMeter
 from .platform import GB, NVMeSpec
 
@@ -69,6 +70,10 @@ class NVMeCommand:
     complete_time: float = 0.0
     #: Completion status (``STATUS_OK`` unless a fault was injected).
     status: str = STATUS_OK
+    #: Observability context: causal parent span of this command and the
+    #: device-side span opened while servicing it (``None`` = untraced).
+    parent_span: Optional[object] = None
+    span: Optional[object] = None
 
     @property
     def latency(self) -> float:
@@ -108,6 +113,14 @@ class NVMeDevice:
         self.read_meter = ThroughputMeter(env, name=f"{self.name}.read")
         self.write_meter = ThroughputMeter(env, name=f"{self.name}.write")
         self.latency = Tally(f"{self.name}.latency")
+        #: Observability (null objects until install_observability).
+        self.tracer = NULL_TRACER
+        self._h_latency = NULL_METRICS.histogram("")
+
+    def install_observability(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle."""
+        self.tracer = obs.tracer
+        self._h_latency = obs.metrics.histogram("nvme.latency")
 
     # -- introspection -------------------------------------------------------
     @property
@@ -142,7 +155,12 @@ class NVMeDevice:
 
     # -- command submission ----------------------------------------------------
     def submit(
-        self, op: str, offset: int, nbytes: int, tag: Optional[object] = None
+        self,
+        op: str,
+        offset: int,
+        nbytes: int,
+        tag: Optional[object] = None,
+        parent: Optional[object] = None,
     ) -> NVMeCommand:
         """Queue one command; returns it with a live ``completion`` event.
 
@@ -175,22 +193,42 @@ class NVMeDevice:
             completion=self.env.event(),
             tag=tag,
             submit_time=self.env.now,
+            parent_span=parent,
         )
+        if self.tracer.enabled:
+            cmd.span = self.tracer.start(
+                "nvme.cmd", track=self.name, parent=parent, cat="nvme",
+                op=op, nbytes=nbytes,
+            )
         self._outstanding += 1
         self.env.process(self._service(cmd), name=f"{self.name}.cmd")
         return cmd
 
-    def read(self, offset: int, nbytes: int, tag: Optional[object] = None) -> NVMeCommand:
-        return self.submit(READ, offset, nbytes, tag)
+    def read(
+        self,
+        offset: int,
+        nbytes: int,
+        tag: Optional[object] = None,
+        parent: Optional[object] = None,
+    ) -> NVMeCommand:
+        return self.submit(READ, offset, nbytes, tag, parent=parent)
 
-    def write(self, offset: int, nbytes: int, tag: Optional[object] = None) -> NVMeCommand:
-        return self.submit(WRITE, offset, nbytes, tag)
+    def write(
+        self,
+        offset: int,
+        nbytes: int,
+        tag: Optional[object] = None,
+        parent: Optional[object] = None,
+    ) -> NVMeCommand:
+        return self.submit(WRITE, offset, nbytes, tag, parent=parent)
 
     # -- service -----------------------------------------------------------------
     def _service(self, cmd: NVMeCommand) -> Generator[Event, Any, None]:
         fault = None
         if self.injector is not None and cmd.op == READ:
             fault = self.injector.nvme_fault(self.name, self.env.now)
+        if fault is not None and cmd.span is not None:
+            cmd.span.event("fault_injected", kind=fault[0])
         # 1. command processing (serialized: the IOPS ceiling)
         yield from self._cmd_proc.hold(self.effective_cmd_overhead)
         if fault is not None:
@@ -219,6 +257,9 @@ class NVMeDevice:
         cmd.complete_time = self.env.now
         self._outstanding -= 1
         self.latency.observe(cmd.latency)
+        self._h_latency.observe(cmd.latency)
+        if cmd.span is not None:
+            cmd.span.finish(status=status)
         if status == STATUS_OK:
             meter = self.read_meter if cmd.op == READ else self.write_meter
             meter.record(nbytes=cmd.nbytes)

@@ -1,0 +1,196 @@
+"""Sim-time spans and the tracer that records them.
+
+A :class:`Span` is one timed operation on one *track* (a simulated
+execution lane: a reactor, a qpair, an NVMe device, a copy thread).
+Spans nest through parent/child causality, so one sample read yields a
+causal chain ``bread -> fetch -> qpair post -> NVMe command -> fabric
+transfer -> copy -> delivery``, and carry point-in-time *events*
+(retries, qpair resets, deadline misses) pinned to the affected
+operation.
+
+Everything here is **purely observational**: recording a span never
+schedules a simulation event, never consumes randomness, and never
+charges simulated time, so a traced run is bit-identical to an untraced
+one (same sample order, same final sim time).  With tracing disabled
+the datapath holds a :data:`NULL_TRACER` whose methods are no-ops
+returning the shared :data:`NULL_SPAN` — the null-object pay-for-use
+pattern of :mod:`repro.faults`.
+
+Timestamps are **simulated seconds** (``env.now``), never wall time;
+the Chrome-trace exporter converts to microseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["Span", "Tracer", "NullSpan", "NullTracer", "NULL_SPAN", "NULL_TRACER"]
+
+
+class Span:
+    """One timed operation: [start, end] on a track, with point events."""
+
+    __slots__ = (
+        "tracer", "name", "cat", "track", "span_id", "parent_id",
+        "start", "end", "args", "events",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        track: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        cat: str,
+        args: Optional[dict],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        #: ``None`` while open; set once by :meth:`finish`.
+        self.end: Optional[float] = None
+        self.args = args
+        #: Point events: (sim time, name, args) — retries, resets, ...
+        self.events: list[tuple[float, str, Optional[dict]]] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Span length; an open span extends to the tracer's current time."""
+        end = self.end if self.end is not None else self.tracer.now
+        return end - self.start
+
+    def event(self, name: str, **args: Any) -> None:
+        """Record a point event at the current sim time on this span."""
+        self.events.append((self.tracer.now, name, args or None))
+
+    def finish(self, **args: Any) -> None:
+        """Close the span at the current sim time (idempotent)."""
+        if self.end is not None:
+            return
+        self.end = self.tracer.now
+        if args:
+            if self.args is None:
+                self.args = args
+            else:
+                self.args.update(args)
+
+    def __repr__(self) -> str:
+        state = f"end={self.end:.6g}" if self.end is not None else "open"
+        return f"<Span #{self.span_id} {self.name!r} @{self.track} {state}>"
+
+
+class Tracer:
+    """Records spans and instant events against the simulated clock.
+
+    One tracer serves a whole simulated testbed; components receive it
+    via ``install_observability`` and call :meth:`start` at operation
+    boundaries.  ``enabled`` is True so hot paths can guard span
+    construction with one attribute check.
+    """
+
+    enabled = True
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self.spans: list[Span] = []
+        #: Standalone instants: (time, name, track, args).
+        self.instants: list[tuple[float, str, str, Optional[dict]]] = []
+        #: track name -> process (node) name, for exporter grouping.
+        self.processes: dict[str, str] = {}
+        self._next_id = 0
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def start(
+        self,
+        name: str,
+        track: str,
+        parent: Optional[Span] = None,
+        cat: str = "",
+        **args: Any,
+    ) -> Span:
+        """Open a span at the current sim time.  Close with ``finish()``."""
+        self._next_id += 1
+        parent_id = parent.span_id if isinstance(parent, Span) else None
+        span = Span(
+            self, name, track, self._next_id, parent_id,
+            self.env.now, cat, args or None,
+        )
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, track: str, **args: Any) -> None:
+        """Record a standalone point event (not attached to a span)."""
+        self.instants.append((self.env.now, name, track, args or None))
+
+    def set_process(self, track: str, process: str) -> None:
+        """Group ``track`` under ``process`` (one process per node)."""
+        self.processes[track] = process
+
+    def tracks(self) -> list[str]:
+        """All track names seen, in first-use order."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.track)
+        for _, _, track, _ in self.instants:
+            seen.setdefault(track)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return f"<Tracer spans={len(self.spans)} instants={len(self.instants)}>"
+
+
+class NullSpan:
+    """No-op span handed out by the disabled tracer."""
+
+    __slots__ = ()
+    finished = True
+    duration = 0.0
+    events: tuple = ()
+
+    def event(self, name: str, **args: Any) -> None:
+        pass
+
+    def finish(self, **args: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullSpan>"
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op (pay-for-use)."""
+
+    enabled = False
+
+    def start(self, name, track, parent=None, cat="", **args) -> NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name, track, **args) -> None:
+        pass
+
+    def set_process(self, track, process) -> None:
+        pass
+
+    def tracks(self) -> list:
+        return []
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+
+#: Shared no-op singletons.
+NULL_SPAN = NullSpan()
+NULL_TRACER = NullTracer()

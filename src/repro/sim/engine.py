@@ -349,6 +349,9 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Observability hooks called after each processed event; ``None``
+        #: (the default) keeps step() at a single falsy check.
+        self._step_listeners: Optional[list[Callable[[float, Event], None]]] = None
 
     # -- time --------------------------------------------------------------
     @property
@@ -392,12 +395,26 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def add_step_listener(self, listener: Callable[[float, Event], None]) -> None:
+        """Register an observability hook run after every processed event.
+
+        Listeners must be purely observational: they see ``(now, event)``
+        and must not create, trigger, or cancel simulation events, so a
+        monitored run stays bit-identical to an unmonitored one.
+        """
+        if self._step_listeners is None:
+            self._step_listeners = []
+        self._step_listeners.append(listener)
+
     def step(self) -> None:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
         self._now, _, event = heapq.heappop(self._queue)
         event._resolve()
+        if self._step_listeners is not None:
+            for listener in self._step_listeners:
+                listener(self._now, event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.

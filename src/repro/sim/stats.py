@@ -62,20 +62,22 @@ class Tally:
 
     @property
     def minimum(self) -> float:
-        return min(self._values)
+        return min(self._values) if self._values else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self._values)
+        return max(self._values) if self._values else 0.0
 
     @property
     def total(self) -> float:
         return float(np.sum(self._values)) if self._values else 0.0
 
     def percentile(self, q: float) -> float:
-        """Exact percentile, ``q`` in [0, 100]."""
+        """Exact percentile, ``q`` in [0, 100]; 0.0 for an empty tally."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q!r} outside [0, 100]")
         if not self._values:
-            raise ValueError(f"tally {self.name!r} is empty")
+            return 0.0
         return float(np.percentile(self._values, q))
 
     def summary(self) -> dict[str, float]:
@@ -156,60 +158,10 @@ class Counter:
         return f"<Counter {self._counts!r}>"
 
 
-class RecoveryStats:
-    """Failure-recovery accounting for one datapath client.
-
-    Named monotonic counters (retries, timeouts, resets, media errors,
-    aborted requests, failed samples, ...) plus a *degraded-mode* clock:
-    the total simulated time during which at least one of the client's
-    qpairs was disconnected.  ``enter_degraded``/``exit_degraded`` nest —
-    two concurrently-down qpairs count the overlapping window once.
-    """
-
-    def __init__(self, env, name: str = "") -> None:
-        self.env = env
-        self.name = name
-        self.counts = Counter()
-        self._down = 0
-        self._since = 0.0
-        self._accum = 0.0
-
-    def incr(self, key: str, amount: int = 1) -> None:
-        self.counts.incr(key, amount)
-
-    def __getitem__(self, key: str) -> int:
-        return self.counts[key]
-
-    @property
-    def degraded_depth(self) -> int:
-        """Number of currently-degraded components (0 = healthy)."""
-        return self._down
-
-    def enter_degraded(self) -> None:
-        if self._down == 0:
-            self._since = self.env.now
-        self._down += 1
-
-    def exit_degraded(self) -> None:
-        if self._down <= 0:
-            raise ValueError(f"recovery stats {self.name!r}: not degraded")
-        self._down -= 1
-        if self._down == 0:
-            self._accum += self.env.now - self._since
-
-    @property
-    def degraded_time(self) -> float:
-        """Seconds spent degraded, including any still-open window."""
-        open_window = (self.env.now - self._since) if self._down > 0 else 0.0
-        return self._accum + open_window
-
-    def as_dict(self) -> dict:
-        out: dict = dict(self.counts.as_dict())
-        out["degraded_time"] = self.degraded_time
-        return out
-
-    def __repr__(self) -> str:
-        return f"<RecoveryStats {self.name!r} {self.counts.as_dict()!r}>"
+# RecoveryStats migrated onto the unified metrics registry (PR 2); the
+# import here keeps the historical ``repro.sim.RecoveryStats`` spelling
+# and attribute API working unchanged.
+from ..obs.metrics import RecoveryStats  # noqa: E402, F401
 
 
 class ThroughputMeter:

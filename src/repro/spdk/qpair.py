@@ -19,6 +19,7 @@ from typing import Any, Generator, Optional, Union
 
 from ..errors import ConfigError, QPairResetError, QueueFullError
 from ..hw import NVMeDevice, STATUS_ABORTED_RESET, STATUS_OK
+from ..obs import NULL_METRICS, NULL_TRACER
 from ..sim import Environment, Event, Store, Tally
 from .request import SPDKRequest
 from .target import NVMeoFTarget
@@ -70,6 +71,14 @@ class IOQPair:
         self._generation = 0
         #: request -> generation for every live in-flight request.
         self._live: dict[SPDKRequest, int] = {}
+        #: Observability (null objects until install_observability).
+        self.tracer = NULL_TRACER
+        self._h_latency = NULL_METRICS.histogram("")
+
+    def install_observability(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle."""
+        self.tracer = obs.tracer
+        self._h_latency = obs.metrics.histogram("qpair.latency")
 
     # -- introspection --------------------------------------------------------
     @property
@@ -106,6 +115,12 @@ class IOQPair:
         request.submit_time = self.env.now
         request.status = None
         request.attempts += 1
+        if self.tracer.enabled:
+            request.span = self.tracer.start(
+                "qpair.io", track=self.name, parent=request.parent_span,
+                cat="spdk", offset=request.offset, nbytes=request.nbytes,
+                attempt=request.attempts,
+            )
         self._live[request] = self._generation
         self.env.process(
             self._fly(request, self._generation), name=f"{self.name}.io"
@@ -119,11 +134,14 @@ class IOQPair:
         try:
             if self.is_remote:
                 status = yield from self.target.serve_read(
-                    self.client_host, request.offset, request.nbytes
+                    self.client_host, request.offset, request.nbytes,
+                    parent=request.span,
                 )
                 status = status or STATUS_OK
             else:
-                cmd = self.target.read(request.offset, request.nbytes)
+                cmd = self.target.read(
+                    request.offset, request.nbytes, parent=request.span
+                )
                 yield cmd.completion
                 status = cmd.status
         finally:
@@ -151,6 +169,9 @@ class IOQPair:
                 remaining -= filled
         self.completed += 1
         self.latency.observe(request.latency)
+        self._h_latency.observe(request.latency)
+        if request.span is not None:
+            request.span.finish(status=status)
         self.completion_sink.put(request)
 
     # -- reset / reconnect lifecycle ---------------------------------------------
@@ -169,10 +190,17 @@ class IOQPair:
         self.connected = False
         self.resets += 1
         now = self.env.now
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "qpair_reset", track=self.name, aborted=len(aborted)
+            )
         for request in aborted:
             self._inflight -= 1
             request.status = STATUS_ABORTED_RESET
             request.complete_time = now
+            if request.span is not None:
+                request.span.event("aborted_by_reset")
+                request.span.finish(status=STATUS_ABORTED_RESET)
             self.completion_sink.put(request)
         return aborted
 

@@ -61,6 +61,11 @@ class SPDKRequest:
     attempts: int = 0
     #: Fault retries consumed against the recovery policy's budget.
     retries: int = 0
+    #: Observability context: the span this request descends from (set
+    #: by the submitter) and the per-flight span the qpair opens at each
+    #: post.  ``None`` when tracing is off — zero-cost pay-for-use.
+    parent_span: Optional[object] = None
+    span: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.nbytes <= 0:

@@ -10,11 +10,12 @@ so the device — not the target CPU — is the bottleneck, as in the paper.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from ..errors import ConfigError
 from ..hw import Fabric, NVMeDevice, STATUS_OK
 from ..hw.platform import USEC
+from ..obs import NULL_TRACER
 from ..sim import Environment, Event, Resource, ThroughputMeter
 
 __all__ = ["NVMeoFTarget"]
@@ -49,13 +50,23 @@ class NVMeoFTarget:
         self.meter = ThroughputMeter(env, name=f"{self.name}.served")
         #: Optional fault injector (see :mod:`repro.faults`).
         self.injector = None
+        #: Observability (null object until install_observability).
+        self.tracer = NULL_TRACER
 
     def install_fault_injector(self, injector) -> None:
         """Attach a :class:`repro.faults.FaultInjector` to this target."""
         self.injector = injector
 
+    def install_observability(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle."""
+        self.tracer = obs.tracer
+
     def serve_read(
-        self, client_host: str, offset: int, nbytes: int
+        self,
+        client_host: str,
+        offset: int,
+        nbytes: int,
+        parent: Optional[object] = None,
     ) -> Generator[Event, Any, str]:
         """Full remote-read service: capsule in, device read, RDMA data out.
 
@@ -64,27 +75,43 @@ class NVMeoFTarget:
         the device reported a failure); returns the completion status.
         """
         spec = self.fabric.spec
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "nvmf.serve", track=self.name, parent=parent, cat="nvmf",
+                client=client_host, nbytes=nbytes,
+            )
         if self.injector is not None:
             # A lost command capsule is retransmitted after a stall.
             stall = self.injector.nvmf_fault(self.name, self.env.now)
             if stall is not None:
+                if span is not None:
+                    span.event("capsule_retransmit", stall=stall)
                 yield self.env.timeout(stall)
         # Command capsule travels client -> target.
-        yield from self.fabric.transfer(client_host, self.host, CAPSULE_BYTES)
+        yield from self.fabric.transfer(
+            client_host, self.host, CAPSULE_BYTES, parent=span
+        )
         # NVMe-oF protocol adds a few microseconds over raw RDMA.
         yield self.env.timeout(spec.nvmf_added_latency)
         # Target reactor picks the capsule up and submits to the device.
         if self.cmd_overhead > 0:
             yield from self._reactor.hold(self.cmd_overhead)
-        cmd = self.device.read(offset, nbytes)
+        cmd = self.device.read(offset, nbytes, parent=span)
         yield cmd.completion
         if cmd.status != STATUS_OK:
             # No data to return; the error status rides the response
             # capsule back to the client qpair.
+            if span is not None:
+                span.finish(status=cmd.status)
             return cmd.status
         # Data is RDMA-written straight into the client's hugepages.
-        yield from self.fabric.rdma_write(self.host, client_host, nbytes)
+        yield from self.fabric.rdma_write(
+            self.host, client_host, nbytes, parent=span
+        )
         self.meter.record(nbytes=nbytes)
+        if span is not None:
+            span.finish(status=STATUS_OK)
         return STATUS_OK
 
     def reactor_utilization(self) -> float:

@@ -1,6 +1,5 @@
 """Tests for the CLI entry point."""
 
-import pathlib
 
 import pytest
 

@@ -7,7 +7,7 @@ from repro.cluster import Cluster
 from repro.core import DLFS, DLFSConfig
 from repro.data import CompositeDataset, Dataset, imagenet_like, imdb_like
 from repro.errors import ConfigError, FileNotFound
-from repro.hw import KB, Testbed
+from repro.hw import Testbed
 from repro.sim import Environment
 
 

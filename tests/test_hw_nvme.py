@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError, HardwareError, QueueFullError
-from repro.hw import GB, KB, MB, USEC, NVMeDevice, NVMeSpec
+from repro.hw import KB, MB, USEC, NVMeDevice, NVMeSpec
 from repro.sim import Environment
 
 

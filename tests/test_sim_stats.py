@@ -1,7 +1,5 @@
 """Unit tests for the measurement accumulators."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 
@@ -144,3 +142,75 @@ class TestThroughputMeter:
         m.record(nbytes=10, count=32)
         assert m.completions == 32
         assert m.bytes == 10
+
+
+class TestTallyEdgeCases:
+    """Regression tests for the zero/one-sample paths."""
+
+    def test_empty_percentile_is_zero(self):
+        assert Tally().percentile(50) == 0.0
+
+    def test_empty_min_max_are_zero(self):
+        t = Tally()
+        assert t.minimum == 0.0
+        assert t.maximum == 0.0
+
+    def test_percentile_range_validated(self):
+        t = Tally()
+        t.observe(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(-1)
+        with pytest.raises(ValueError):
+            t.percentile(101)
+
+    def test_single_observation_variance_is_zero(self):
+        t = Tally()
+        t.observe(3.0)
+        assert t.variance == 0.0
+        assert t.stdev == 0.0
+
+    def test_throughput_meter_zero_elapsed(self, env):
+        m = ThroughputMeter(env)
+        assert m.rate() == 0.0
+        assert m.bandwidth() == 0.0
+
+
+class TestRecoveryStatsShim:
+    """``repro.sim.RecoveryStats`` keeps its original standalone API."""
+
+    def test_standalone_counters_and_dict_api(self, env):
+        from repro.sim import RecoveryStats
+
+        rs = RecoveryStats(env)
+        assert rs["retries"] == 0
+        rs.incr("retries")
+        rs.incr("retries", 2)
+        assert rs["retries"] == 3
+        assert rs.as_dict()["retries"] == 3
+
+    def test_degraded_windows_nest(self, env):
+        from repro.sim import RecoveryStats
+
+        rs = RecoveryStats(env)
+        env.run(until=1.0)
+        rs.enter_degraded()
+        env.run(until=2.0)
+        rs.enter_degraded()  # overlapping outage counts once
+        env.run(until=3.0)
+        rs.exit_degraded()
+        env.run(until=4.0)
+        rs.exit_degraded()
+        assert rs.degraded_time == pytest.approx(3.0)
+        assert rs.degraded_depth == 0
+        with pytest.raises(ValueError):
+            rs.exit_degraded()
+
+    def test_shared_registry_carries_counters(self, env):
+        from repro.obs import MetricsRegistry
+        from repro.sim import RecoveryStats
+
+        reg = MetricsRegistry(env)
+        rs = RecoveryStats(env, name="r0.recovery", registry=reg)
+        rs.incr("resets")
+        assert reg.counter("r0.recovery.resets").value == 1
+        assert reg.dump()["recovery"]["r0.recovery"]["resets"] == 1

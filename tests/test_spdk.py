@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.cluster import Cluster
 from repro.errors import ConfigError, QueueFullError
-from repro.hw import GB, KB, MB, NVMeSpec, Testbed
+from repro.hw import KB, MB, NVMeSpec, Testbed
 from repro.sim import Environment, Store
 from repro.spdk import (
     IOQPair,

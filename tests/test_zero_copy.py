@@ -1,7 +1,6 @@
 """Tests for the zero-copy extension (the paper's §III-C2 future work)."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import DLFS, DLFSConfig
