@@ -1,0 +1,31 @@
+"""Determinism analysis pack: simlint (static) + SimSanitizer (runtime).
+
+``python -m repro lint src/repro`` runs the AST rules; ``python -m repro
+sanitize`` runs the tiebreak-perturbation sweep.  Both gate CI.
+"""
+
+from .rules import RULES, RULES_BY_ID, Finding, Rule
+from .sanitizer import (
+    LifecycleAudit,
+    SanitizerReport,
+    default_workload,
+    perturbed_tiebreaks,
+    run_sanitizer,
+)
+from .simlint import lint_file, lint_paths, lint_source, render_findings
+
+__all__ = [
+    "RULES",
+    "RULES_BY_ID",
+    "Finding",
+    "Rule",
+    "LifecycleAudit",
+    "SanitizerReport",
+    "default_workload",
+    "perturbed_tiebreaks",
+    "run_sanitizer",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+]

@@ -1,0 +1,129 @@
+"""The simlint rule table.
+
+Every rule has a stable ID (``SL1xx``), a one-line summary, and a fix
+hint that tells the author what the deterministic replacement is.  The
+IDs are part of the repo's contract: suppression comments
+(``# simlint: disable=SL105 -- reason``) and CI logs refer to them, so
+they are append-only — never renumber.
+
+Rules exist because the simulation's headline claim is bit-exact
+reproducibility (same seed → same ``samples_read`` order and
+``sim_time``).  Each rule forbids one way a run can silently couple to
+process state instead of seed state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["Rule", "RULES", "RULES_BY_ID", "Finding"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, rationale, and remedy."""
+
+    id: str
+    name: str
+    summary: str
+    hint: str
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        id="SL100",
+        name="bad-suppression",
+        summary="malformed simlint suppression (missing reason or unknown rule)",
+        hint=(
+            "write `# simlint: disable=SLxxx -- why this site is exempt`; "
+            "the reason is mandatory and the rule ID must exist"
+        ),
+    ),
+    Rule(
+        id="SL101",
+        name="wall-clock",
+        summary="wall-clock time API inside the simulation tree",
+        hint=(
+            "simulated components must read `env.now`; wall-clock timing "
+            "belongs only in CLI progress output (suppress with a reason)"
+        ),
+    ),
+    Rule(
+        id="SL102",
+        name="process-entropy",
+        summary="OS/process entropy source (urandom, uuid, secrets)",
+        hint="derive randomness from a named substream: `repro.sim.rng(name, seed)`",
+    ),
+    Rule(
+        id="SL103",
+        name="global-rng-state",
+        summary="module-level RNG with shared global state (random.*, np.random.*)",
+        hint=(
+            "global-state RNGs make results depend on call order across the "
+            "whole process; use `repro.sim.rng(name, seed)` instead"
+        ),
+    ),
+    Rule(
+        id="SL104",
+        name="unseeded-rng",
+        summary="RNG constructed with no seed (falls back to OS entropy)",
+        hint="pass explicit seed material: `repro.sim.rng(name, seed)`",
+    ),
+    Rule(
+        id="SL105",
+        name="unblessed-rng",
+        summary="direct RNG construction outside repro.sim.rng",
+        hint=(
+            "construct every generator via `repro.sim.rng(name, seed)` so the "
+            "substream is named and auditable (substream_log())"
+        ),
+    ),
+    Rule(
+        id="SL106",
+        name="id-ordering",
+        summary="ordering keyed on id() (object addresses vary per process)",
+        hint="key on a stable field (name, index, offset) instead of id()",
+    ),
+    Rule(
+        id="SL107",
+        name="builtin-hash-ordering",
+        summary="builtin hash() (str/bytes hashing is randomized per process)",
+        hint="use zlib.crc32 / hashlib for stable digests, or a stable sort key",
+    ),
+    Rule(
+        id="SL108",
+        name="set-iteration",
+        summary="iteration over a set in a sim-coupled module (unstable order)",
+        hint="wrap in sorted(...) with a stable key, or keep a list/deque",
+    ),
+    Rule(
+        id="SL109",
+        name="unguarded-obs",
+        summary="hot-path tracer call not behind an `.enabled` guard",
+        hint=(
+            "gate with `if self.tracer.enabled:` so the null-object path "
+            "stays a single attribute check"
+        ),
+    ),
+)
+
+RULES_BY_ID = {r.id: r for r in RULES}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit, ready to print as ``path:line:col: SLxxx ...``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: Optional[str] = field(default=None)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

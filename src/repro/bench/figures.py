@@ -17,6 +17,7 @@ import numpy as np
 
 from ..data import imagenet_like, imdb_like
 from ..hw.platform import KB, MB
+from ..sim import rng as sim_rng
 from ..train import run_accuracy_experiment
 from . import workloads as W
 
@@ -79,11 +80,11 @@ def fig01_size_distribution(num_samples: int = 200_000, seed: int = 1) -> Figure
     )
     grid = np.unique(np.logspace(1.5, 7, 60).astype(np.int64))
     for name, dist in (("ImageNet", imagenet_like()), ("IMDB", imdb_like())):
-        sizes = dist.sample(np.random.default_rng(seed), num_samples)
+        sizes = dist.sample(sim_rng("fig01.cdf", seed), num_samples)
         cdf = np.searchsorted(np.sort(sizes), grid, side="right") / num_samples
         result.series[name] = {int(x): float(c) for x, c in zip(grid, cdf)}
-    img = imagenet_like().sample(np.random.default_rng(seed), num_samples)
-    imdb = imdb_like().sample(np.random.default_rng(seed), num_samples)
+    img = imagenet_like().sample(sim_rng("fig01.imagenet", seed), num_samples)
+    imdb = imdb_like().sample(sim_rng("fig01.imdb", seed), num_samples)
     result.headline["ImageNet: fraction of samples <= 147 KB"] = (
         0.75, float((img <= 147 * KB).mean())
     )

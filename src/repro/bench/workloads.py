@@ -28,6 +28,7 @@ from ..hw import BoundThread, Testbed
 from ..kernelfs import Ext4FileSystem
 from ..octopus import OctopusFS
 from ..sim import Environment
+from ..sim import rng as sim_rng
 from ..train import (
     DLFSTFAdapter,
     Ext4TFAdapter,
@@ -220,7 +221,7 @@ def ext4_single_node(
     fs.ingest_dataset(ds)
     if warm_metadata:
         fs.warm_metadata()
-    order = np.random.default_rng(DEFAULT_SEED).permutation(ds.num_samples)
+    order = sim_rng("bench.ext4.order", DEFAULT_SEED).permutation(ds.num_samples)
     measured_reads = 0
     t_start = [None]
 
@@ -319,9 +320,9 @@ def ext4_multi_node(
     def worker(env, node, fs, ds):
         nonlocal measured
         thread = BoundThread(node.cpu.core(0), f"{node.name}.t0")
-        order = np.random.default_rng(DEFAULT_SEED + node.index).permutation(
-            ds.num_samples
-        )
+        order = sim_rng(
+            f"bench.ext4.order.{node.index}", DEFAULT_SEED + node.index
+        ).permutation(ds.num_samples)
         for k in range(per_node):
             if k == warmup_per_node and t_start[0] is None:
                 t_start[0] = env.now
@@ -352,7 +353,7 @@ def octopus_multi_node(
     ds = _dataset(max(2 * num_nodes * per_node, 2000), sample_bytes)
     fs = OctopusFS(cluster)
     fs.mount(ds)
-    order = np.random.default_rng(DEFAULT_SEED).permutation(ds.num_samples)
+    order = sim_rng("bench.octopus.order", DEFAULT_SEED).permutation(ds.num_samples)
     measured = 0
     t_start = [None]
 
@@ -400,7 +401,7 @@ def dlfs_lookup_time(
     client = fs.client(rank=0, num_ranks=1, node=cluster.node(0))
     share = total_samples // num_nodes
     count = min(measured_lookups_per_node, share)
-    rng = np.random.default_rng(DEFAULT_SEED)
+    rng = sim_rng("bench.lookup.targets", DEFAULT_SEED)
     targets = rng.integers(0, total_samples, count)
 
     def app(env):
@@ -468,7 +469,7 @@ def octopus_lookup_time(
     ds = _dataset(max(num_nodes * count, 1000), sample_bytes)
     fs = OctopusFS(cluster)
     fs.mount(ds)
-    rng = np.random.default_rng(DEFAULT_SEED)
+    rng = sim_rng("bench.octopus.lookup", DEFAULT_SEED)
     per_node_time = []
 
     def worker(env, rank):

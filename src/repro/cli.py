@@ -23,6 +23,11 @@ the per-layer latency attribution / percentile tables::
 
     python -m repro trace --samples 2000
     python -m repro trace --fault-plan media=0.02,reset_period=0.002 --out results/trace
+
+``lint`` and ``sanitize`` are the determinism gates (both used by CI)::
+
+    python -m repro lint src/repro              # AST rules, exit 1 on findings
+    python -m repro sanitize --runs 5           # tiebreak-perturbation sweep
 """
 
 from __future__ import annotations
@@ -138,6 +143,26 @@ def main(argv: list[str] | None = None) -> int:
                          default=pathlib.Path("results/trace"),
                          help="output directory (default results/trace)")
 
+    p_lint = sub.add_parser(
+        "lint", help="simlint: static determinism analysis (exit 1 on findings)"
+    )
+    p_lint.add_argument("paths", nargs="*", default=None,
+                        help="files or directories (default: src/repro)")
+    p_lint.add_argument("--rules", action="store_true",
+                        help="print the rule table and exit")
+
+    p_san = sub.add_parser(
+        "sanitize",
+        help="SimSanitizer: rerun the default workload under perturbed "
+             "same-timestamp tiebreaks and assert invariant results",
+    )
+    p_san.add_argument("--runs", type=int, default=5,
+                       help="perturbed tiebreak seeds to sweep (default 5)")
+    p_san.add_argument("--seed", type=int, default=2019,
+                       help="base perturbation seed (default 2019)")
+    p_san.add_argument("--out", type=pathlib.Path, default=None,
+                       help="write the JSON report here")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -146,10 +171,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "figure":
-        t0 = time.time()
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
         result = _run_figure(args.name, args.scale)
         _emit(result, args.out, headline_only=False)
-        print(f"\n[{args.name} in {time.time() - t0:.1f}s]")
+        print(f"\n[{args.name} in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0
 
     if args.command == "chaos":
@@ -166,7 +191,7 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         if args.seed is not None:
             plan = dataclasses.replace(plan, seed=args.seed)
-        t0 = time.time()
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
         r = dlfs_chaos(
             plan,
             num_nodes=args.nodes,
@@ -191,7 +216,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"recovery degraded_time     {value * 1e3:.3f} ms")
             else:
                 print(f"recovery {key:<17} {value}")
-        print(f"\n[chaos in {time.time() - t0:.1f}s]")
+        print(f"\n[chaos in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0 if r.accounted else 1
 
     if args.command == "trace":
@@ -210,7 +235,7 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigError as exc:
             print(f"error: --fault-plan: {exc}", file=sys.stderr)
             return 2
-        t0 = time.time()
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
         r = dlfs_observed(
             samples=args.samples,
             sample_bytes=args.size,
@@ -248,17 +273,46 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\nwrote {trace_path} (load in https://ui.perfetto.dev)")
         print(f"wrote {metrics_path}")
         print(f"wrote {args.out / 'breakdown.txt'}")
-        print(f"[trace in {time.time() - t0:.1f}s]")
+        print(f"[trace in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0
+
+    if args.command == "lint":
+        from .analysis import RULES, lint_paths, render_findings
+
+        if args.rules:
+            for rule in RULES:
+                print(f"{rule.id} [{rule.name}] {rule.summary}")
+                print(f"    fix: {rule.hint}")
+            return 0
+        paths = args.paths or ["src/repro"]
+        findings = lint_paths(paths)
+        print(render_findings(findings))
+        return 1 if findings else 0
+
+    if args.command == "sanitize":
+        from .analysis import run_sanitizer
+
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        report = run_sanitizer(
+            runs=args.runs, base_seed=args.seed,
+            progress=lambda msg: print(f"  .. {msg}", file=sys.stderr),
+        )
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(report.to_json() + "\n")
+            print(f"wrote {args.out}")
+        print(report.render())
+        print(f"[sanitize in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        return 0 if report.ok else 1
 
     if args.command in ("all", "claims"):
         headline_only = args.command == "claims"
         out = getattr(args, "out", None)
         for name in sorted(FIGURES):
-            t0 = time.time()
+            t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
             result = _run_figure(name, args.scale)
             _emit(result, out, headline_only=headline_only)
-            print(f"[{name} in {time.time() - t0:.1f}s]", file=sys.stderr)
+            print(f"[{name} in {time.time() - t0:.1f}s]", file=sys.stderr)  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0
 
     return 2  # pragma: no cover

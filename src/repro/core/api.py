@@ -35,6 +35,7 @@ from ..hw import MB, NVMeDevice
 from ..hw.cpu import BoundThread
 from ..obs import OBS_OFF, Observability
 from ..sim import Event, Store
+from ..sim import rng as sim_rng
 from ..spdk import IOQPair, NVMeoFTarget, SPDKDriver
 from .batching import ChunkEpoch, ChunkPlan, delivery_order
 from .directory import LocalValidBits, SampleDirectory, aggregate_directory
@@ -513,7 +514,7 @@ class DLFSClient:
             self._epoch = ChunkEpoch(self.fs.plan, seed, self.num_ranks)
             # Per-rank generator stream derived from (seed, rank).
             order_seed = int(
-                np.random.default_rng([seed, self.rank]).integers(2**31)
+                sim_rng("dlfs.sequence.rank", [seed, self.rank]).integers(2**31)
             )
             self._delivery = delivery_order(
                 self.fs.plan,

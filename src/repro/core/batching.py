@@ -23,6 +23,7 @@ import numpy as np
 
 from ..data import DatasetLayout
 from ..errors import ConfigError
+from ..sim import rng as sim_rng
 
 __all__ = [
     "ChunkPlan",
@@ -155,7 +156,7 @@ class ChunkEpoch:
         self.plan = plan
         self.seed = seed
         self.num_ranks = num_ranks
-        rng = np.random.default_rng(seed)
+        rng = sim_rng("dlfs.epoch.chunks", seed)
         self.chunk_list = rng.permutation(plan.nonempty_chunks())
         self.edge_list = rng.permutation(plan.edge_samples.copy())
         self.chunk_list.setflags(write=False)
@@ -220,7 +221,7 @@ def delivery_order(
     """
     if window < 1:
         raise ConfigError("window must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng = sim_rng("dlfs.delivery.window", seed)
     chunk_iter = iter(int(g) for g in chunks)
     order: list[int] = []
     req_kind: list[int] = []

@@ -44,6 +44,7 @@ from ..hw.cpu import BoundThread, Core
 from ..hw.platform import CPUSpec, NetworkSpec
 from ..obs import NULL_METRICS, NULL_TRACER
 from ..sim import Environment, Event, RecoveryStats, Store, Tally, ThroughputMeter
+from ..sim import rng as sim_rng
 from ..spdk import IOQPair, SPDKRequest, aligned_span
 from .batching import REQ_CHUNK, ChunkPlan
 from .cache import RESIDENT, SampleCache
@@ -285,8 +286,9 @@ class Reactor:
         self._jitter_rng: Optional[np.random.Generator] = None
         if recovery is not None:
             recovery.validate()
-            self._jitter_rng = np.random.default_rng(
-                [recovery.seed, zlib.crc32(name.encode())]
+            self._jitter_rng = sim_rng(
+                f"recovery.jitter.{name}",
+                [recovery.seed, zlib.crc32(name.encode())],
             )
         if injector is not None and injector.resets_enabled:
             for shard in qpairs:
@@ -536,10 +538,18 @@ class Reactor:
                     # waste a queue slot on it.
                     self._part_failed(req.tag, req.tag.failed)
                     continue
-                cost += self.net.rdma_post_overhead
                 qp.post(req)
                 if self.recovery is not None:
                     self._arm_watchdog(req)
+                # Each doorbell write is serialized work on this core,
+                # paid *between* posts: a submission burst therefore
+                # never lands at one instant, and downstream FIFO
+                # arrival order (NIC, target reactor, device command
+                # processor) is fixed by post order — not by
+                # same-timestamp event tiebreaks (SimSanitizer
+                # invariant).
+                self._layers.add("post", self.net.rdma_post_overhead)
+                yield from self.thread.run(self.net.rdma_post_overhead)
         if cost > 0.0:
             self._layers.add("post", cost)
             yield from self.thread.run(cost)

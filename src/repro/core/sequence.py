@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigError
+from ..sim import rng as sim_rng
 
 __all__ = ["GlobalSequence"]
 
@@ -37,7 +38,7 @@ class GlobalSequence:
         self.batch_per_rank = batch_per_rank
         self.global_batch = num_ranks * batch_per_rank
         # The same seed on every node yields the same permutation.
-        self.order = np.random.default_rng(seed).permutation(num_samples)
+        self.order = sim_rng("dlfs.sequence.order", seed).permutation(num_samples)
         self.order.setflags(write=False)
 
     @property

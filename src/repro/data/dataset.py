@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigError
+from ..sim import rng as sim_rng
 from .distributions import FixedSize, SizeDistribution
 
 __all__ = ["Dataset", "DatasetLayout", "SampleLocation"]
@@ -47,7 +48,7 @@ class Dataset:
         self.sizes.setflags(write=False)
         self.num_classes = num_classes
         self.seed = seed
-        rng = np.random.default_rng(seed ^ 0x5EED)
+        rng = sim_rng("data.dataset.labels", seed ^ 0x5EED)
         self.labels = rng.integers(0, num_classes, size=len(sizes), dtype=np.int32)
         self.labels.setflags(write=False)
 
@@ -63,7 +64,7 @@ class Dataset:
         """Draw ``num_samples`` sizes from ``distribution`` (deterministic)."""
         if num_samples < 1:
             raise ConfigError("num_samples must be >= 1")
-        rng = np.random.default_rng(seed)
+        rng = sim_rng("data.dataset.sizes", seed)
         return cls(name, distribution.sample(rng, num_samples), num_classes, seed)
 
     @classmethod

@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..sim.rng import rng as sim_rng
 from ..sim.stats import Counter
 from .plan import FaultPlan
 
@@ -51,8 +52,8 @@ class FaultInjector:
     def _stream(self, site: str) -> np.random.Generator:
         rng = self._streams.get(site)
         if rng is None:
-            rng = np.random.default_rng(
-                [self.plan.seed, zlib.crc32(site.encode())]
+            rng = sim_rng(
+                f"fault.{site}", [self.plan.seed, zlib.crc32(site.encode())]
             )
             self._streams[site] = rng
         return rng

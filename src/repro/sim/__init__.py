@@ -13,6 +13,7 @@ Public surface:
 
 from .engine import AllOf, AnyOf, Environment, Event, Process, Timeout
 from .resources import Container, PriorityResource, Request, Resource, Store
+from .rng import derive_seed, reset_substream_log, rng, substream_log
 from .stats import Counter, RecoveryStats, Tally, ThroughputMeter, TimeWeighted
 
 __all__ = [
@@ -32,4 +33,8 @@ __all__ = [
     "Counter",
     "ThroughputMeter",
     "RecoveryStats",
+    "rng",
+    "derive_seed",
+    "substream_log",
+    "reset_substream_log",
 ]

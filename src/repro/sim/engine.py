@@ -36,10 +36,53 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "PENDING",
+    "set_tiebreak_factory",
+    "set_lifecycle_audit",
+    "audit_register",
 ]
 
 #: Sentinel for an event value that has not been set yet.
 PENDING = object()
+
+# --------------------------------------------------------------------------
+# SimSanitizer hooks (repro.analysis.sanitizer).
+#
+# Both default to None and cost the hot path a single falsy check.  They
+# are *harness* knobs: production code must never set them — the
+# sanitizer installs them around a run and restores None afterwards.
+# --------------------------------------------------------------------------
+
+#: When set, every new Environment calls the factory once and uses the
+#: returned object's ``random()`` to draw a tiebreak rank per scheduled
+#: event — a seeded shuffle of same-timestamp event order.  The engine's
+#: *contract* (docs: DESIGN.md, "determinism") is that component-level
+#: outcomes must not depend on the insertion-order tiebreak; this knob
+#: is how the sanitizer falsifies that claim.
+_TIEBREAK_FACTORY: Optional[Callable[[], Any]] = None
+
+#: When set, Resources/Stores/qpairs register themselves here at
+#: construction so the sanitizer can check lifecycle invariants
+#: (leak-on-stop, stale completions) after a run.  Must expose
+#: ``register(obj)``.
+_LIFECYCLE_AUDIT: Optional[Any] = None
+
+
+def set_tiebreak_factory(factory: Optional[Callable[[], Any]]) -> None:
+    """Install (or clear, with ``None``) the sanitizer tiebreak factory."""
+    global _TIEBREAK_FACTORY
+    _TIEBREAK_FACTORY = factory
+
+
+def set_lifecycle_audit(audit: Optional[Any]) -> None:
+    """Install (or clear, with ``None``) the sanitizer lifecycle audit."""
+    global _LIFECYCLE_AUDIT
+    _LIFECYCLE_AUDIT = audit
+
+
+def audit_register(obj: Any) -> None:
+    """Register a lifecycle-checked object with the active audit, if any."""
+    if _LIFECYCLE_AUDIT is not None:
+        _LIFECYCLE_AUDIT.register(obj)
 
 
 class Event:
@@ -346,8 +389,15 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
+        #: Heap entries are (time, tiebreak rank, insertion id, event).
+        #: The rank is a constant 0.0 in normal runs (so ties fall back
+        #: to insertion order); under the SimSanitizer it is a seeded
+        #: random draw, shuffling same-timestamp event order.
+        self._queue: list[tuple[float, float, int, Event]] = []
         self._eid = 0
+        self._tiebreak = (
+            _TIEBREAK_FACTORY() if _TIEBREAK_FACTORY is not None else None
+        )
         self._active_process: Optional[Process] = None
         #: Observability hooks called after each processed event; ``None``
         #: (the default) keeps step() at a single falsy check.
@@ -389,7 +439,8 @@ class Environment:
     def _post(self, event: Event, delay: float = 0.0) -> None:
         """Schedule ``event`` for processing ``delay`` seconds from now."""
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+        rank = 0.0 if self._tiebreak is None else float(self._tiebreak.random())
+        heapq.heappush(self._queue, (self._now + delay, rank, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -410,7 +461,7 @@ class Environment:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        self._now, _, event = heapq.heappop(self._queue)
+        self._now, _, _, event = heapq.heappop(self._queue)
         event._resolve()
         if self._step_listeners is not None:
             for listener in self._step_listeners:

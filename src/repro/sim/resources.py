@@ -19,7 +19,7 @@ from collections import deque
 from typing import Any, Deque, Generator, Optional
 
 from ..errors import ResourceError
-from .engine import Environment, Event
+from .engine import Environment, Event, audit_register
 
 __all__ = ["Resource", "PriorityResource", "Request", "Store", "Container"]
 
@@ -60,6 +60,7 @@ class Resource:
         # Usage accounting for utilization reporting.
         self._busy_integral = 0.0
         self._last_change = env.now
+        audit_register(self)
 
     # -- accounting ----------------------------------------------------------
     @property
@@ -125,6 +126,12 @@ class Resource:
             raise ResourceError("request is not waiting") from None
 
     def _grant(self, req: Request) -> None:
+        if req in self._users or req.triggered:
+            # Double-acquire: a request granted twice corrupts the slot
+            # accounting (SimSanitizer lifecycle invariant).
+            raise ResourceError(
+                f"double grant of {req!r} on {self.name or 'resource'}"
+            )
         self._account()
         self._users.add(req)
         req.succeed(req)
@@ -229,6 +236,7 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[StoreGet] = deque()
         self._putters: Deque[StorePut] = deque()
+        audit_register(self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -302,6 +310,7 @@ class Container:
         self.name = name
         self._level = initial
         self._getters: Deque[tuple[float, Event]] = deque()
+        audit_register(self)
 
     @property
     def level(self) -> float:

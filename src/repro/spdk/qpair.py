@@ -21,6 +21,7 @@ from ..errors import ConfigError, QPairResetError, QueueFullError
 from ..hw import NVMeDevice, STATUS_ABORTED_RESET, STATUS_OK
 from ..obs import NULL_METRICS, NULL_TRACER
 from ..sim import Environment, Event, Store, Tally
+from ..sim.engine import audit_register
 from .request import SPDKRequest
 from .target import NVMeoFTarget
 
@@ -63,6 +64,9 @@ class IOQPair:
         self.posted = 0
         self.completed = 0
         self.resets = 0
+        #: Device completions dropped because a reset made them stale
+        #: (generation mismatch) — audited by the SimSanitizer.
+        self.stale_drops = 0
         self.latency = Tally(f"{self.name}.latency")
         #: Disconnect/reset lifecycle: a reset disconnects the qpair,
         #: aborts everything in flight back to the sink, and bumps the
@@ -74,6 +78,10 @@ class IOQPair:
         #: Observability (null objects until install_observability).
         self.tracer = NULL_TRACER
         self._h_latency = NULL_METRICS.histogram("")
+        #: SimSanitizer hook: checks every delivery against the current
+        #: generation (None outside sanitized runs — zero cost).
+        self.audit = None
+        audit_register(self)
 
     def install_observability(self, obs) -> None:
         """Attach an :class:`repro.obs.Observability` bundle."""
@@ -157,6 +165,7 @@ class IOQPair:
                 del self._live[request]
                 self._inflight -= 1
         if stale:
+            self.stale_drops += 1
             return  # reset already delivered ABORTED_RESET for it
         request.status = status
         request.complete_time = self.env.now
@@ -172,6 +181,8 @@ class IOQPair:
         self._h_latency.observe(request.latency)
         if request.span is not None:
             request.span.finish(status=status)
+        if self.audit is not None:
+            self.audit.check_delivery(self, generation)
         self.completion_sink.put(request)
 
     # -- reset / reconnect lifecycle ---------------------------------------------

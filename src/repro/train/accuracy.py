@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.batching import ChunkEpoch, ChunkPlan, delivery_order
 from ..data import Dataset, DatasetLayout
+from ..sim import rng as sim_rng
 from .features import FeatureSpace
 from .sgd import TrainingCurve, full_random_ordering, train_with_ordering
 
@@ -31,7 +32,9 @@ def dlfs_ordering(plan: ChunkPlan, seed: int, window: int = 8):
     """An epoch-ordering source backed by the real DLFS batching code."""
 
     def source(epoch: int) -> np.ndarray:
-        epoch_seed = int(np.random.default_rng((seed, epoch)).integers(2**31))
+        epoch_seed = int(
+            sim_rng("train.accuracy.epoch", (seed, epoch)).integers(2**31)
+        )
         e = ChunkEpoch(plan, seed=epoch_seed, num_ranks=1)
         d = delivery_order(
             plan, e.rank_chunks(0), e.rank_edges(0),

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..data import Dataset
 from ..errors import ConfigError
+from ..sim import rng as sim_rng
 
 __all__ = ["FeatureSpace"]
 
@@ -36,7 +37,7 @@ class FeatureSpace:
             raise ConfigError("class_separation and noise must be positive")
         self.dataset = dataset
         self.dim = dim
-        rng = np.random.default_rng(seed)
+        rng = sim_rng("train.features.means", seed)
         self.means = rng.normal(
             0.0, class_separation, (dataset.num_classes, dim)
         )
@@ -44,7 +45,7 @@ class FeatureSpace:
         self.seed = seed
         # All features are fixed up front by (seed, index): row i is the
         # feature vector of sample i no matter in which order it is read.
-        noise_rng = np.random.default_rng(seed + 1)
+        noise_rng = sim_rng("train.features.noise", seed + 1)
         self._x = self.means[self.dataset.labels] + noise_rng.normal(
             0.0, noise, (dataset.num_samples, dim)
         )
@@ -58,7 +59,7 @@ class FeatureSpace:
     def holdout(self, count: int, seed: int = 999) -> tuple[np.ndarray, np.ndarray]:
         """A validation set drawn from the same class distribution but
         disjoint from every training sample."""
-        rng = np.random.default_rng(seed)
+        rng = sim_rng("train.features.holdout", seed)
         y = rng.integers(0, self.dataset.num_classes, count)
         x = self.means[y] + rng.normal(0.0, self.noise, (count, self.dim))
         return x, y.astype(np.int64)

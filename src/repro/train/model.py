@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigError
+from ..sim import rng as sim_rng
 
 __all__ = ["MLPClassifier"]
 
@@ -41,7 +42,7 @@ class MLPClassifier:
             raise ConfigError("learning_rate must be positive")
         if not 0 <= momentum < 1:
             raise ConfigError("momentum in [0, 1)")
-        rng = np.random.default_rng(seed)
+        rng = sim_rng("train.model.init", seed)
         self.input_dim = input_dim
         self.num_classes = num_classes
         self.lr = learning_rate

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import ConfigError
+from ..sim import rng as sim_rng
 from .features import FeatureSpace
 from .model import MLPClassifier
 
@@ -43,7 +44,7 @@ def full_random_ordering(num_samples: int, seed: int) -> OrderingSource:
     """Application-driven full randomization (paper's ``Full_Rand``)."""
 
     def source(epoch: int) -> np.ndarray:
-        rng = np.random.default_rng((seed, epoch))
+        rng = sim_rng("train.full_rand.epoch", (seed, epoch))
         return rng.permutation(num_samples)
 
     return source

@@ -1,0 +1,360 @@
+"""simlint rule tests: one positive, one negative, one suppression per rule.
+
+The linter is pure (source text in, findings out), so every case runs
+through :func:`repro.analysis.lint_source` on a small snippet.  The
+bad-example fixture used by the CI acceptance check is exercised at the
+end through the real CLI entry point.
+"""
+
+import textwrap
+
+from repro.analysis import RULES, RULES_BY_ID, lint_paths, lint_source
+from repro.cli import main as cli_main
+
+def ids(source, path="mod.py"):
+    return [f.rule_id for f in lint_source(textwrap.dedent(source), path)]
+
+
+# ---------------------------------------------------------------------------
+# SL100 — bad suppressions
+# ---------------------------------------------------------------------------
+
+def test_sl100_suppression_without_reason_is_flagged_and_ignored():
+    src = """
+    import time
+    t = time.time()  # simlint: disable=SL101
+    """
+    assert sorted(ids(src)) == ["SL100", "SL101"]
+
+
+def test_sl100_unknown_rule_id():
+    src = """
+    import time
+    t = time.time()  # simlint: disable=SL999, SL101 -- known part still applies
+    """
+    # SL999 is reported; the valid SL101 part still suppresses.
+    assert ids(src) == ["SL100"]
+
+
+def test_sl100_suppression_inside_string_literal_is_ignored():
+    src = '''
+    DOC = "example: # simlint: disable=SL101"
+    '''
+    assert ids(src) == []
+
+
+# ---------------------------------------------------------------------------
+# SL101 — wall clock
+# ---------------------------------------------------------------------------
+
+def test_sl101_time_and_datetime():
+    src = """
+    import time
+    from datetime import datetime
+    a = time.time()
+    b = time.perf_counter()
+    c = datetime.now()
+    """
+    assert ids(src) == ["SL101", "SL101", "SL101"]
+
+
+def test_sl101_alias_resolution():
+    src = """
+    import time as clock
+    t = clock.monotonic()
+    """
+    assert ids(src) == ["SL101"]
+
+
+def test_sl101_suppressed_with_reason():
+    src = """
+    import time
+    t = time.time()  # simlint: disable=SL101 -- CLI progress print
+    """
+    assert ids(src) == []
+
+
+def test_sl101_env_now_is_fine():
+    src = """
+    def proc(env):
+        return env.now
+    """
+    assert ids(src) == []
+
+
+# ---------------------------------------------------------------------------
+# SL102 — process entropy
+# ---------------------------------------------------------------------------
+
+def test_sl102_entropy_sources():
+    src = """
+    import os, uuid, secrets
+    a = os.urandom(16)
+    b = uuid.uuid4()
+    c = secrets.token_hex(8)
+    """
+    assert ids(src) == ["SL102", "SL102", "SL102"]
+
+
+def test_sl102_negative_os_path_ok():
+    src = """
+    import os
+    p = os.path.join("a", "b")
+    """
+    assert ids(src) == []
+
+
+# ---------------------------------------------------------------------------
+# SL103 — global RNG state
+# ---------------------------------------------------------------------------
+
+def test_sl103_stdlib_and_numpy_global():
+    src = """
+    import random
+    import numpy as np
+    random.seed(1)
+    x = random.randint(0, 9)
+    y = np.random.rand(3)
+    np.random.shuffle(y)
+    """
+    assert ids(src) == ["SL103"] * 4
+
+
+def test_sl103_generator_methods_are_fine():
+    src = """
+    from repro.sim import rng
+    g = rng("test.stream", 7)
+    x = g.random()
+    y = g.integers(10)
+    """
+    assert ids(src) == []
+
+
+# ---------------------------------------------------------------------------
+# SL104 / SL105 — unseeded and unblessed construction
+# ---------------------------------------------------------------------------
+
+def test_sl104_unseeded_constructors():
+    src = """
+    import random
+    import numpy as np
+    g = np.random.default_rng()
+    h = np.random.default_rng(None)
+    r = random.Random()
+    """
+    assert ids(src) == ["SL104", "SL104", "SL104"]
+
+
+def test_sl105_seeded_but_unblessed():
+    src = """
+    import numpy as np
+    from numpy.random import default_rng
+    g = np.random.default_rng(42)
+    h = default_rng(seed=42)
+    """
+    assert ids(src) == ["SL105", "SL105"]
+
+
+def test_sl105_suppression_used_by_blessed_module():
+    src = """
+    import numpy as np
+    g = np.random.default_rng(7)  # simlint: disable=SL105 -- the blessed constructor
+    """
+    assert ids(src) == []
+
+
+def test_sl105_blessed_helper_is_clean():
+    src = """
+    from repro.sim import rng
+    g = rng("train.model.init", 42)
+    """
+    assert ids(src) == []
+
+
+# ---------------------------------------------------------------------------
+# SL106 / SL107 — id() and hash() ordering
+# ---------------------------------------------------------------------------
+
+def test_sl106_sorted_by_id():
+    src = """
+    xs = sorted(items, key=id)
+    ys = min(items, key=lambda x: id(x))
+    items.sort(key=id)
+    """
+    assert ids(src) == ["SL106", "SL106", "SL106"]
+
+
+def test_sl106_stable_key_ok():
+    src = """
+    xs = sorted(items, key=lambda x: x.name)
+    """
+    assert ids(src) == []
+
+
+def test_sl107_builtin_hash():
+    src = """
+    d = hash(key)
+    """
+    assert ids(src) == ["SL107"]
+
+
+def test_sl107_hashlib_ok():
+    src = """
+    import hashlib, zlib
+    a = hashlib.sha1(b"x").hexdigest()
+    b = zlib.crc32(b"x")
+    """
+    assert ids(src) == []
+
+
+# ---------------------------------------------------------------------------
+# SL108 — set iteration (sim-coupled modules only)
+# ---------------------------------------------------------------------------
+
+def test_sl108_literal_and_constructor():
+    src = """
+    from repro.sim import Environment
+    for x in {1, 2, 3}:
+        pass
+    for y in set(items):
+        pass
+    """
+    assert ids(src) == ["SL108", "SL108"]
+
+
+def test_sl108_tracked_local_and_self_attr():
+    src = """
+    from repro.sim import Environment
+    def f(items):
+        pending = set(items)
+        return [x for x in pending]
+
+    class C:
+        def __init__(self):
+            self._users = set()
+
+        def g(self):
+            for u in self._users:
+                pass
+    """
+    assert ids(src) == ["SL108", "SL108"]
+
+
+def test_sl108_sorted_wrap_is_the_fix():
+    src = """
+    from repro.sim import Environment
+    def f(items):
+        pending = set(items)
+        return [x for x in sorted(pending)]
+    """
+    assert ids(src) == []
+
+
+def test_sl108_not_sim_coupled_module_is_exempt():
+    src = """
+    def f(items):
+        return [x for x in set(items)]
+    """
+    assert ids(src) == []
+
+
+def test_sl108_membership_test_is_fine():
+    src = """
+    from repro.sim import Environment
+    def f(x):
+        pending = set()
+        return x in pending
+    """
+    assert ids(src) == []
+
+
+def test_sl108_files_under_sim_are_coupled_by_path():
+    src = "for x in {1, 2}:\n    pass\n"
+    found = lint_source(src, "src/repro/sim/engine.py")
+    assert [f.rule_id for f in found] == ["SL108"]
+
+
+# ---------------------------------------------------------------------------
+# SL109 — unguarded tracer hot-path calls
+# ---------------------------------------------------------------------------
+
+def test_sl109_unguarded_start_and_instant():
+    src = """
+    def f(self):
+        self.tracer.instant("tick", track="t")
+        span = self.tracer.start("op", track="t")
+    """
+    assert ids(src) == ["SL109", "SL109"]
+
+
+def test_sl109_guarded_is_clean():
+    src = """
+    def f(self):
+        if self.tracer.enabled:
+            self.tracer.instant("tick", track="t")
+            span = self.tracer.start("op", track="t")
+    """
+    assert ids(src) == []
+
+
+def test_sl109_else_branch_is_not_guarded():
+    src = """
+    def f(self):
+        if self.tracer.enabled:
+            pass
+        else:
+            self.tracer.instant("tick", track="t")
+    """
+    assert ids(src) == ["SL109"]
+
+
+def test_sl109_other_methods_not_flagged():
+    src = """
+    def f(self, span):
+        span.finish(status="ok")
+        self.tracer.export()
+    """
+    assert ids(src) == []
+
+
+# ---------------------------------------------------------------------------
+# Whole-tree and fixture acceptance
+# ---------------------------------------------------------------------------
+
+def test_rule_table_is_complete_and_stable():
+    assert [r.id for r in RULES] == [f"SL10{i}" for i in range(10)]
+    for rule in RULES:
+        assert rule.summary and rule.hint
+        assert RULES_BY_ID[rule.id] is rule
+
+
+def test_repo_source_tree_is_clean():
+    assert lint_paths(["src/repro"]) == []
+
+
+def test_bad_example_fixture_trips_every_rule():
+    findings = lint_paths(["tests/fixtures/simlint_bad_example.py"])
+    hit = {f.rule_id for f in findings}
+    assert hit == {f"SL10{i}" for i in range(10)}
+
+
+def test_cli_lint_exit_codes(capsys):
+    assert cli_main(["lint", "src/repro"]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert cli_main(["lint", "tests/fixtures/simlint_bad_example.py"]) == 1
+    out = capsys.readouterr().out
+    for i in range(10):
+        assert f"SL10{i}" in out
+
+
+def test_cli_lint_rules_listing(capsys):
+    assert cli_main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule.id in out
+
+
+def test_syntax_error_reported_not_raised():
+    found = lint_source("def broken(:\n", "x.py")
+    assert [f.rule_id for f in found] == ["SL100"]
+    assert "syntax error" in found[0].message
