@@ -4,6 +4,7 @@
 sanitize`` runs the tiebreak-perturbation sweep.  Both gate CI.
 """
 
+from .perfcheck import PerfCheckReport, run_perfcheck
 from .rules import RULES, RULES_BY_ID, Finding, Rule
 from .sanitizer import (
     LifecycleAudit,
@@ -15,6 +16,8 @@ from .sanitizer import (
 from .simlint import lint_file, lint_paths, lint_source, render_findings
 
 __all__ = [
+    "PerfCheckReport",
+    "run_perfcheck",
     "RULES",
     "RULES_BY_ID",
     "Finding",

@@ -1,0 +1,169 @@
+"""perfcheck — prove the fast-path kernel changes nothing observable.
+
+PR "fast-path DES kernel" carries two implementations of the hot paths:
+the *reference* one (heap-only scheduling, one process per NVMe command
+and per qpair flight, per-chunk pool seeding) and the *optimized* one
+(immediate-event FIFO lane, closed-form device timing, callback
+flights, bulk pool preload).  The optimizations are only admissible if
+they are invisible to the simulation: ``python -m repro perfcheck``
+runs the fig06 (single-node) and fig08 (multi-node emulated) workloads
+under both implementations in one process — flipping
+:func:`repro.sim.set_fastpath` between builds — and asserts the
+*witnesses* are bit-identical:
+
+* final ``sim_time`` (exact float equality);
+* the delivered sample-order digest (sha1 over ``samples_read``);
+* delivered/failed counts;
+* the full metrics-registry snapshot (sha1 over the canonical JSON of
+  ``MetricsRegistry.dump()``), minus the one counter that *measures the
+  kernel itself* — ``sim.events_processed`` counts processed events, and
+  processing fewer events is the entire point of the PR.
+
+This is the same witness the SimSanitizer uses for its tiebreak sweeps
+(:func:`repro.analysis.sanitizer._witness`), extended with the metrics
+digest.  Timing (wall-clock) is deliberately *not* compared here — that
+is ``benchmarks/bench_engine.py``'s job; perfcheck must never fail on
+timing noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim import engine as _engine
+from .sanitizer import _witness
+
+__all__ = ["PerfCheckReport", "run_perfcheck", "default_workloads"]
+
+#: Metrics-dump keys that describe the kernel, not the simulation.
+#: ``counters.sim.events_processed`` is the engine's own step counter;
+#: the optimized kernel processes fewer events by design.
+KERNEL_META_COUNTERS = ("sim.events_processed",)
+
+
+def _metrics_digest(result: Any) -> Optional[str]:
+    """Canonical sha1 of the run's metrics snapshot, if metrics were on."""
+    obs = getattr(result, "obs", None)
+    metrics = getattr(obs, "metrics", None)
+    if metrics is None or not getattr(metrics, "enabled", False):
+        return None
+    dump = metrics.dump()
+    counters = dump.get("counters")
+    if isinstance(counters, dict):
+        counters = dict(counters)
+        for key in KERNEL_META_COUNTERS:
+            counters.pop(key, None)
+        dump = dict(dump)
+        dump["counters"] = counters
+    blob = json.dumps(dump, sort_keys=True, default=repr).encode()
+    return hashlib.sha1(blob).hexdigest()
+
+
+def _full_witness(result: Any) -> Dict[str, Any]:
+    w = _witness(result)
+    digest = _metrics_digest(result)
+    if digest is not None:
+        w["metrics_sha1"] = digest
+    return w
+
+
+def default_workloads(quick: bool = False) -> Dict[str, Callable[[], Any]]:
+    """The fig06/fig08 correctness gates.
+
+    Both return a :class:`~repro.bench.workloads.TraceReport` with
+    metrics enabled so the snapshot digest is part of the witness.
+    ``quick`` shrinks the sample counts for CI smoke use; the datapath
+    coverage (client → reactor → qpair → device → fabric) is the same.
+    """
+    from ..bench.workloads import dlfs_observed
+
+    samples = 256 if quick else 1024
+    nodes = 2 if quick else 4
+    return {
+        "fig06_single_node": lambda: dlfs_observed(
+            samples=samples, batch=32, mode="chunk", num_nodes=1,
+            trace=False, metrics=True,
+        ),
+        "fig08_multi_node": lambda: dlfs_observed(
+            samples=samples, batch=32, mode="chunk", num_nodes=nodes,
+            trace=False, metrics=True,
+        ),
+    }
+
+
+@dataclass
+class PerfCheckReport:
+    """Outcome of one reference-vs-optimized equivalence check."""
+
+    workloads: List[str]
+    witnesses: Dict[str, Dict[str, Dict[str, Any]]] = field(default_factory=dict)
+    divergences: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "workloads": self.workloads,
+            "witnesses": self.witnesses,
+            "divergences": self.divergences,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, default=str)
+
+    def render(self) -> str:
+        lines = [f"perfcheck: {len(self.workloads)} workload(s)"]
+        for name in self.workloads:
+            pair = self.witnesses.get(name, {})
+            ref = pair.get("reference", {})
+            status = (
+                "bit-identical"
+                if not [d for d in self.divergences if d.startswith(name)]
+                else "DIVERGED"
+            )
+            lines.append(f"  {name}: {status}")
+            for key, value in sorted(ref.items()):
+                lines.append(f"    {key}={value}")
+        for d in self.divergences:
+            lines.append(f"  divergence: {d}")
+        lines.append(f"verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def run_perfcheck(
+    workloads: Optional[Dict[str, Callable[[], Any]]] = None,
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PerfCheckReport:
+    """Run each workload under both kernels and compare witnesses.
+
+    The fast-path flag is flipped *between* workload builds (components
+    snapshot it at construction), and always restored afterwards.
+    """
+    workloads = workloads or default_workloads(quick=quick)
+    report = PerfCheckReport(workloads=list(workloads))
+    previous = _engine.fastpath_enabled()
+    try:
+        for name, workload in workloads.items():
+            pair: Dict[str, Dict[str, Any]] = {}
+            for label, enabled in (("reference", False), ("optimized", True)):
+                if progress:
+                    progress(f"{name}: {label} kernel")
+                _engine.set_fastpath(enabled)
+                pair[label] = _full_witness(workload())
+            report.witnesses[name] = pair
+            ref, opt = pair["reference"], pair["optimized"]
+            for key in sorted(set(ref) | set(opt)):
+                if ref.get(key) != opt.get(key):
+                    report.divergences.append(
+                        f"{name}: {key} {ref.get(key)!r} != {opt.get(key)!r}"
+                    )
+    finally:
+        _engine.set_fastpath(previous)
+    return report

@@ -28,6 +28,14 @@ the per-layer latency attribution / percentile tables::
 
     python -m repro lint src/repro              # AST rules, exit 1 on findings
     python -m repro sanitize --runs 5           # tiebreak-perturbation sweep
+
+``perfcheck`` is the fast-path equivalence gate: it runs the fig06 and
+fig08 workloads under both the reference and the optimized kernel and
+asserts sim_time, the sample-order digest, and the metrics snapshot are
+bit-identical (exit 1 on divergence)::
+
+    python -m repro perfcheck
+    python -m repro perfcheck --quick --out results/perfcheck.json
 """
 
 from __future__ import annotations
@@ -162,6 +170,16 @@ def main(argv: list[str] | None = None) -> int:
                        help="base perturbation seed (default 2019)")
     p_san.add_argument("--out", type=pathlib.Path, default=None,
                        help="write the JSON report here")
+
+    p_perf = sub.add_parser(
+        "perfcheck",
+        help="prove fast-path kernel results are bit-identical to the "
+             "reference kernel on the fig06/fig08 workloads",
+    )
+    p_perf.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke)")
+    p_perf.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write the JSON report here")
 
     args = parser.parse_args(argv)
 
@@ -303,6 +321,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.out}")
         print(report.render())
         print(f"[sanitize in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        return 0 if report.ok else 1
+
+    if args.command == "perfcheck":
+        from .analysis import run_perfcheck
+
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        report = run_perfcheck(
+            quick=args.quick,
+            progress=lambda msg: print(f"  .. {msg}", file=sys.stderr),
+        )
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(report.to_json() + "\n")
+            print(f"wrote {args.out}")
+        print(report.render())
+        print(f"[perfcheck in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0 if report.ok else 1
 
     if args.command in ("all", "claims"):

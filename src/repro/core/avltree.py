@@ -259,9 +259,16 @@ class AVLTree:
         mid = (lo + hi) // 2
         node = AVLNode(keys[mid], None)
         node.payloads = payloads[mid]
-        node.left = self._build(keys, payloads, lo, mid)
-        node.right = self._build(keys, payloads, mid + 1, hi)
-        _fix_height(node)
+        left = self._build(keys, payloads, lo, mid)
+        right = self._build(keys, payloads, mid + 1, hi)
+        node.left = left
+        node.right = right
+        # Heights come straight off the children — same values
+        # _fix_height computes, minus three calls per node on a build
+        # that runs at every mount.
+        lh = left.height if left is not None else 0
+        rh = right.height if right is not None else 0
+        node.height = lh + 1 if lh >= rh else rh + 1
         return node
 
     # -- invariant checking (used by tests) --------------------------------------

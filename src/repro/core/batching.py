@@ -229,26 +229,31 @@ def delivery_order(
 
     # Each cursor: (kind, ident, member array, position).
     cursors: list[list] = []
+    chunk_cursors = 0  # running count of REQ_CHUNK entries in ``cursors``
 
     def refill() -> None:
-        while len([c for c in cursors if c[0] == REQ_CHUNK]) < window:
+        nonlocal chunk_cursors
+        while chunk_cursors < window:
             try:
                 gid = next(chunk_iter)
             except StopIteration:
                 return
-            members = plan.chunk_members[gid]
-            if len(members):
+            # Plain-list members: per-sample indexing below then yields
+            # Python ints directly instead of numpy scalars.
+            members = plan.chunk_members[gid].tolist()
+            if members:
                 cursors.append([REQ_CHUNK, gid, members, 0])
+                chunk_cursors += 1
 
     if len(edges):
-        cursors.append([REQ_EDGE, -1, edges, 0])
+        cursors.append([REQ_EDGE, -1, list(map(int, edges)), 0])
     refill()
 
     while cursors:
         pick = int(rng.integers(len(cursors))) if len(cursors) > 1 else 0
         cursor = cursors[pick]
         kind, ident, members, pos = cursor
-        sample = int(members[pos])
+        sample = members[pos]
         order.append(sample)
         if kind == REQ_CHUNK:
             req_kind.append(REQ_CHUNK)
@@ -259,7 +264,9 @@ def delivery_order(
         cursor[3] += 1
         if cursor[3] >= len(members):
             cursors.pop(pick)
-            refill()
+            if kind == REQ_CHUNK:
+                chunk_cursors -= 1
+                refill()
 
     return DeliveryPlan(
         order=np.asarray(order, dtype=np.int64),

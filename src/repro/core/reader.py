@@ -170,7 +170,7 @@ class CopyPool:
             env.process(self._worker(core), name=f"copy@{core.name}")
 
     def submit(self, cost: float, callback: Callable[[], None]) -> None:
-        self.tasks.put((cost, callback))
+        self.tasks.put_nowait((cost, callback))
 
     def _worker(self, core: Core) -> Generator[Event, Any, None]:
         while True:
@@ -195,7 +195,7 @@ class CopyPool:
             workers = self.num_workers
         self._shut_down = True
         for _ in range(workers):
-            self.tasks.put(SHUTDOWN)
+            self.tasks.put_nowait(SHUTDOWN)
 
 
 class Reactor:
@@ -317,11 +317,11 @@ class Reactor:
 
     # -- frontend entry points (called from application processes) -------------
     def submit(self, job) -> None:
-        self.inbox.put(job)
+        self.inbox.put_nowait(job)
 
     def stop(self) -> Event:
         """Request shutdown; returns an event firing once the core is freed."""
-        self.inbox.put(SHUTDOWN)
+        self.inbox.put_nowait(SHUTDOWN)
         return self._stopped
 
     # -- main loop -----------------------------------------------------------------
@@ -329,16 +329,34 @@ class Reactor:
         yield from self.thread.acquire()  # busy-polling: core held for life
         try:
             while True:
+                # Analytic idle fast-forward: the Store-backed SCQ wakes
+                # us exactly when work lands, so empty poll iterations
+                # are never simulated one by one — but the core *is*
+                # spinning for that whole gap, so charge it to the layer
+                # breakdown as poll_idle busy-time.
+                idle_from = self.env.now
                 msg = yield self.inbox.get()
-                stop = yield from self._dispatch(msg)
+                if self.env.now > idle_from:
+                    self._layers.add("poll_idle", self.env.now - idle_from)
+                # Completions dominate the SCQ: dispatch them without
+                # the _dispatch generator hop.
+                if type(msg) is SPDKRequest:
+                    yield from self._on_completion(msg)
+                    stop = False
+                else:
+                    stop = yield from self._dispatch(msg)
                 # Drain whatever else is already queued this instant.
                 while not stop and len(self.inbox):
                     msg = yield self.inbox.get()
-                    stop = yield from self._dispatch(msg)
+                    if type(msg) is SPDKRequest:
+                        yield from self._on_completion(msg)
+                    else:
+                        stop = yield from self._dispatch(msg)
                 if stop:
                     yield from self._drain_on_stop()
                     return
-                yield from self._pump()
+                if self._pump_needed():
+                    yield from self._pump()
         finally:
             self.thread.release()
             self._stopped.succeed()
@@ -380,12 +398,14 @@ class Reactor:
         except Exception as exc:
             # Failed lookups surface at the caller, not in the reactor.
             self._layers.add("prep", self.cpu.hash_cost)
-            yield from self.thread.run(self.cpu.hash_cost)
+            if self.cpu.hash_cost > 0.0:
+                yield self.thread.delay(self.cpu.hash_cost)
             job.done.fail(exc)
             return
         cost = self.cpu.hash_cost + result.visits * self.cpu.tree_node_visit
         self._layers.add("prep", cost)
-        yield from self.thread.run(cost)
+        if cost > 0.0:
+            yield self.thread.delay(cost)
         self.lookup_time.observe(self.env.now - t0)
         job.done.succeed(result)
 
@@ -447,7 +467,8 @@ class Reactor:
                 self._rpq[result.shard].append(fetch)
             fetch.waiters.append((job, result.length))
         self._layers.add("prep", cost)
-        yield from self.thread.run(cost)
+        if cost > 0.0:
+            yield self.thread.delay(cost)
 
     def _intake_requirements(self, job: ReadJob) -> Generator[Event, Any, None]:
         """Chunk-level batching: samples arrive via chunk / edge fetches."""
@@ -470,7 +491,8 @@ class Reactor:
             if slot is None and key not in self._pending:
                 self._ensure_fetch(key, kind, rid, parent=job.span)
         self._layers.add("prep", cost)
-        yield from self.thread.run(cost)
+        if cost > 0.0:
+            yield self.thread.delay(cost)
 
     def _ensure_fetch(
         self, key, kind: int, rid: int, parent: Optional[object] = None
@@ -498,6 +520,18 @@ class Reactor:
         return fetch
 
     # -- post stage -------------------------------------------------------------------
+    def _pump_needed(self) -> bool:
+        """Cheap pre-check so the per-message loop can skip ``_pump``.
+
+        ``_pump`` yields (and mutates state) only when it can post: some
+        shard has queued work *and* a free qpair slot.  When that holds
+        for no shard, the call is a no-op generator — skip the frame.
+        """
+        for shard, qp in self.qpairs.items():
+            if qp.free_slots > 0 and (self._postq[shard] or self._rpq[shard]):
+                return True
+        return False
+
     def _pump(self) -> Generator[Event, Any, None]:
         cost = 0.0
         for shard, qp in self.qpairs.items():
@@ -549,10 +583,11 @@ class Reactor:
                 # same-timestamp event tiebreaks (SimSanitizer
                 # invariant).
                 self._layers.add("post", self.net.rdma_post_overhead)
-                yield from self.thread.run(self.net.rdma_post_overhead)
+                if self.net.rdma_post_overhead > 0.0:
+                    yield self.thread.delay(self.net.rdma_post_overhead)
         if cost > 0.0:
             self._layers.add("post", cost)
-            yield from self.thread.run(cost)
+            yield self.thread.delay(cost)
 
     # -- poll + copy stages -----------------------------------------------------------
     def _on_completion(self, req: SPDKRequest) -> Generator[Event, Any, None]:
@@ -560,8 +595,10 @@ class Reactor:
         if not self.use_scq:
             # No SCQ: each completion round scans every qpair's CQ.
             poll_cost *= max(len(self.qpairs), 1)
-        self._layers.add("poll", poll_cost + self.completion_overhead)
-        yield from self.thread.run(poll_cost + self.completion_overhead)
+        poll_cost += self.completion_overhead
+        self._layers.add("poll", poll_cost)
+        if poll_cost > 0.0:
+            yield self.thread.delay(poll_cost)
         fetch: _PendingFetch = req.tag
         if self.recovery is not None and req.status != STATUS_OK:
             self._recover(req)
@@ -680,7 +717,7 @@ class Reactor:
         self, req: SPDKRequest, delay: float
     ) -> Generator[Event, Any, None]:
         yield self.env.timeout(delay)
-        self.inbox.put(_RetryRequest(req))
+        self.inbox.put_nowait(_RetryRequest(req))
 
     def _on_retry_ready(self, req: SPDKRequest) -> None:
         self._pending_retries -= 1
@@ -708,7 +745,7 @@ class Reactor:
     ) -> Generator[Event, Any, None]:
         yield self.env.timeout(self.recovery.deadline)
         if req.status is None and req.attempts == attempt:
-            self.inbox.put(_DeadlineCheck(req, attempt))
+            self.inbox.put_nowait(_DeadlineCheck(req, attempt))
 
     def _on_deadline(self, msg: _DeadlineCheck) -> None:
         req = msg.req
@@ -746,7 +783,7 @@ class Reactor:
     def _reconnect_later(self, shard: int) -> Generator[Event, Any, None]:
         delay = self.recovery.reconnect_delay if self.recovery is not None else 0.0
         yield self.env.timeout(delay)
-        self.inbox.put(_QPairUp(shard))
+        self.inbox.put_nowait(_QPairUp(shard))
 
     def _on_qpair_up(self, shard: int) -> None:
         qp = self.qpairs[shard]
@@ -762,7 +799,7 @@ class Reactor:
             yield self.env.timeout(delay)
             if self._stopping:
                 return
-            self.inbox.put(_QPairReset(shard))
+            self.inbox.put_nowait(_QPairReset(shard))
 
     def _drain_on_stop(self) -> Generator[Event, Any, None]:
         """Shutdown drain: abort queued work, await in-flight completions.
@@ -795,7 +832,10 @@ class Reactor:
             any(qp.inflight for qp in self.qpairs.values())
             or self._pending_retries > 0
         ):
+            idle_from = self.env.now
             msg = yield self.inbox.get()
+            if self.env.now > idle_from:
+                self._layers.add("poll_idle", self.env.now - idle_from)
             if isinstance(msg, (SPDKRequest, _RetryRequest, _DeadlineCheck, _QPairUp)):
                 yield from self._dispatch(msg)
                 for postq in self._postq.values():
@@ -879,13 +919,14 @@ class Reactor:
         cost = self._inline_copy_cost
         self._inline_copy_cost = 0.0
         self._inline_done_list = []
-        yield from self.thread.run(cost)
+        if cost > 0.0:
+            yield self.thread.delay(cost)
         for finish in pending:
             finish()
 
     def _kick(self) -> None:
         """Wake the loop after an off-reactor event freed resources."""
-        self.inbox.put(KICK)
+        self.inbox.put_nowait(KICK)
 
     def __repr__(self) -> str:
         return f"<Reactor {self.name!r} pending={len(self._pending)}>"

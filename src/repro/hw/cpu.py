@@ -125,6 +125,21 @@ class BoundThread:
         else:
             yield from self.core.execute(duration)
 
+    def delay(self, duration: float) -> Event:
+        """One pinned compute segment as a directly yieldable event.
+
+        Equivalent to ``yield from thread.run(duration)`` for a thread
+        holding its core, minus one generator frame per segment — the
+        reactor charges thousands of doorbell/poll segments per run.
+        Callers must skip zero durations themselves (``run`` yields no
+        event for them) and must hold the core.
+        """
+        if duration <= 0:
+            raise ValueError(f"delay() needs a positive duration: {duration}")
+        if self._held is None:
+            raise ConfigError(f"{self.name} does not hold its core")
+        return self.env.timeout(duration)
+
     def memcpy(self, nbytes: int) -> Generator[Event, Any, None]:
         yield from self.run(nbytes / self.core.spec.memcpy_bandwidth)
 

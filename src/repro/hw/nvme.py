@@ -26,9 +26,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
+from collections import deque
+
 from ..errors import ConfigError, HardwareError, QueueFullError
 from ..obs import NULL_METRICS, NULL_TRACER
 from ..sim import Environment, Event, Resource, Tally, ThroughputMeter
+from ..sim.engine import fastpath_enabled
 from .platform import GB, NVMeSpec
 
 __all__ = [
@@ -116,6 +119,20 @@ class NVMeDevice:
         #: Observability (null objects until install_observability).
         self.tracer = NULL_TRACER
         self._h_latency = NULL_METRICS.histogram("")
+        #: Analytic fast path (healthy commands only): completion times
+        #: are computed in closed form at submit and a single timer chain
+        #: delivers them, replacing the per-command service process.
+        #: ``perfcheck`` proves results bit-identical to the process path.
+        self._fastpath = fastpath_enabled()
+        #: Next instant each serialized stage is free (closed-form
+        #: mirrors of the _cmd_proc/_data_pipe FIFO resources).
+        self._proc_free = 0.0
+        self._pipe_free = 0.0
+        #: Pending analytic completions, (complete_time, cmd), sorted —
+        #: completion times are strictly increasing in submit order
+        #: because both stages are FIFO pipes.
+        self._fp_pending: deque[tuple[float, NVMeCommand]] = deque()
+        self._fp_timer_active = False
 
     def install_observability(self, obs) -> None:
         """Attach an :class:`repro.obs.Observability` bundle."""
@@ -201,7 +218,10 @@ class NVMeDevice:
                 op=op, nbytes=nbytes,
             )
         self._outstanding += 1
-        self.env.process(self._service(cmd), name=f"{self.name}.cmd")
+        if self._fastpath and self.injector is None:
+            self._fp_submit(cmd)
+        else:
+            self.env.process(self._service(cmd), name=f"{self.name}.cmd")
         return cmd
 
     def read(
@@ -221,6 +241,74 @@ class NVMeDevice:
         parent: Optional[object] = None,
     ) -> NVMeCommand:
         return self.submit(WRITE, offset, nbytes, tag, parent=parent)
+
+    # -- analytic fast path ------------------------------------------------------
+    def _fp_submit(self, cmd: NVMeCommand) -> None:
+        """Closed-form service timing for one healthy command.
+
+        Mirrors :meth:`_service` stage by stage with the *same float
+        operations in the same order*, so completion times are
+        bit-identical to the process path:
+
+        1. serialized command processing — FIFO grant of ``_cmd_proc``
+           at ``max(now, proc_free)``, released ``cmd_overhead`` later;
+        2. media latency — paid concurrently, ``read_latency`` after
+           processing;
+        3. serialized data movement — FIFO grant of ``_data_pipe``.
+
+        Both stages are capacity-1 FIFO pipes fed in submit order, so
+        grant order equals submit order and each stage's free time is a
+        single scalar.  Busy-time integrals are credited to the same
+        resources with the same per-hold summands in the same (submit ==
+        release) order the process path would accumulate them, keeping
+        ``bandwidth_utilization()`` bit-identical at end of run (the
+        integral is booked at submit, so a mid-flight reading would run
+        slightly ahead of the process path).
+
+        With an injector installed, commands take the process path; the
+        in-repo chaos workloads install injectors before any I/O is
+        submitted, so the two accounting schemes never interleave.
+        """
+        env = self.env
+        now = env._now
+        proc_start = self._proc_free if self._proc_free > now else now
+        proc_done = proc_start + self.effective_cmd_overhead
+        self._proc_free = proc_done
+        ready = proc_done + self.spec.read_latency
+        pipe_start = self._pipe_free if self._pipe_free > ready else ready
+        complete = pipe_start + self.spec.transfer_time(cmd.nbytes)
+        self._pipe_free = complete
+        self._cmd_proc._busy_integral += proc_done - proc_start
+        self._data_pipe._busy_integral += complete - pipe_start
+        self._fp_pending.append((complete, cmd))
+        if not self._fp_timer_active:
+            self._fp_schedule(complete)
+
+    def _fp_schedule(self, when: float) -> None:
+        """Arm the delivery timer for the earliest pending completion."""
+        timer = Event(self.env)
+        timer._value = None
+        timer.callbacks.append(self._fp_deliver)
+        self.env._post_at(timer, when)
+        self._fp_timer_active = True
+
+    def _fp_deliver(self, _timer: Event) -> None:
+        """Complete every command due now; re-arm for the next instant.
+
+        One timer event per completion *instant* — a same-instant burst
+        is drained in submit order under a single event, and the 5+
+        intermediate events per command of the process path (process
+        start, stage grants, stage timeouts, process end) never exist.
+        """
+        pending = self._fp_pending
+        now = self.env._now
+        while pending and pending[0][0] <= now:
+            _, cmd = pending.popleft()
+            self._complete(cmd, STATUS_OK)
+        if pending:
+            self._fp_schedule(pending[0][0])
+        else:
+            self._fp_timer_active = False
 
     # -- service -----------------------------------------------------------------
     def _service(self, cmd: NVMeCommand) -> Generator[Event, Any, None]:

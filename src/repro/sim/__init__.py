@@ -11,7 +11,16 @@ Public surface:
   :class:`ThroughputMeter` — measurement accumulators.
 """
 
-from .engine import AllOf, AnyOf, Environment, Event, Process, Timeout
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    Timeout,
+    fastpath_enabled,
+    set_fastpath,
+)
 from .resources import Container, PriorityResource, Request, Resource, Store
 from .rng import derive_seed, reset_substream_log, rng, substream_log
 from .stats import Counter, RecoveryStats, Tally, ThroughputMeter, TimeWeighted
@@ -33,6 +42,8 @@ __all__ = [
     "Counter",
     "ThroughputMeter",
     "RecoveryStats",
+    "set_fastpath",
+    "fastpath_enabled",
     "rng",
     "derive_seed",
     "substream_log",

@@ -24,6 +24,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import DeadlockError, SimulationError, InterruptedProcess
@@ -39,6 +40,8 @@ __all__ = [
     "set_tiebreak_factory",
     "set_lifecycle_audit",
     "audit_register",
+    "set_fastpath",
+    "fastpath_enabled",
 ]
 
 #: Sentinel for an event value that has not been set yet.
@@ -83,6 +86,33 @@ def audit_register(obj: Any) -> None:
     """Register a lifecycle-checked object with the active audit, if any."""
     if _LIFECYCLE_AUDIT is not None:
         _LIFECYCLE_AUDIT.register(obj)
+
+
+# --------------------------------------------------------------------------
+# Fast-path toggle.
+#
+# The kernel and the hardware models carry two equivalent implementations
+# of several hot paths: a *reference* one (heap-only scheduling, one
+# process per NVMe command / qpair flight) and an optimized one (the
+# immediate-event FIFO lane below, closed-form device timing, callback
+# flights).  ``python -m repro perfcheck`` proves the two produce
+# bit-identical results; this switch selects between them so the proof
+# can run both in one process.  Components snapshot the flag at
+# construction — flip it *between* building workloads, never mid-run.
+# --------------------------------------------------------------------------
+
+_FASTPATH = True
+
+
+def set_fastpath(enabled: bool) -> None:
+    """Enable/disable optimized kernel+model paths for new components."""
+    global _FASTPATH
+    _FASTPATH = bool(enabled)
+
+
+def fastpath_enabled() -> bool:
+    """True when new components should take the optimized paths."""
+    return _FASTPATH
 
 
 class Event:
@@ -133,7 +163,13 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._post(self)
+        # Inlined zero-delay _post: succeed() dominates datapath posts.
+        env = self.env
+        if env._use_fifo:
+            env._eid += 1
+            env._fifo.append((env._now, env._eid, self))
+        else:
+            env._post(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -178,11 +214,26 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
+        # Inlined Event.__init__: timeouts are the most-constructed
+        # event type (one per compute charge in the datapath).
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        env._post(self, delay=delay)
+        # Inlined _post: nonzero delays go straight to the heap, zero
+        # delays to the FIFO lane when active.
+        env._eid += 1
+        if delay == 0.0 and env._use_fifo:
+            env._fifo.append((env._now, env._eid, self))
+        elif env._tiebreak is None:
+            heapq.heappush(env._queue, (env._now + delay, 0.0, env._eid, self))
+        else:
+            heapq.heappush(
+                env._queue,
+                (env._now + delay, float(env._tiebreak.random()), env._eid, self),
+            )
 
 
 class Initialize(Event):
@@ -208,7 +259,7 @@ class Process(Event):
     raises, the process fails with that exception (propagated to waiters).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_stale")
 
     def __init__(
         self,
@@ -223,6 +274,10 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None when running).
         self._target: Optional[Event] = None
+        #: Events abandoned by interrupt(); their firings are tombstoned:
+        #: _resume drops them instead of paying an O(n) callbacks.remove
+        #: at interrupt time.  None (no check at all) in the common case.
+        self._stale: Optional[list[Event]] = None
         Initialize(env, self)
 
     @property
@@ -240,21 +295,32 @@ class Process(Event):
             raise SimulationError(f"{self!r} has already terminated")
         if self._target is None:
             raise SimulationError(f"{self!r} is not waiting on an event")
-        # Detach from the old target.
+        # Detach from the old target: O(1) tombstone instead of an O(n)
+        # callbacks.remove — the subscription stays in place and _resume
+        # discards the stale firing when it arrives.
         target = self._target
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
         self._target = None
+        if target.callbacks is not None:
+            if self._stale is None:
+                self._stale = [target]
+            else:
+                self._stale.append(target)
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
         interrupt_event._value = InterruptedProcess(cause)
         interrupt_event._defused = True
-        interrupt_event.callbacks = []
         interrupt_event.callbacks.append(self._resume)
         self.env._post(interrupt_event)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
+        stale = self._stale
+        if stale is not None and event in stale:
+            # Firing of an event abandoned by interrupt(): swallow it.
+            stale.remove(event)
+            if not stale:
+                self._stale = None
+            return
         self.env._active_process = self
         # (ok, payload): payload is a value when ok, an exception otherwise.
         ok, payload = event._ok, event._value
@@ -315,20 +381,36 @@ class Condition(Event):
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
+        fired = None
+        remaining = 0
         for event in self._events:
             if event.env is not env:
                 raise SimulationError("condition spans multiple environments")
-        self._remaining = sum(1 for e in self._events if e.callbacks is not None)
-        for event in self._events:
             if event.callbacks is None:
-                self._child_fired(event, immediate=True)
+                if fired is None:
+                    fired = [event]
+                else:
+                    fired.append(event)
             else:
-                event.callbacks.append(self._child_fired)
+                remaining += 1
+        self._remaining = remaining
+        # Subscribe after validation so a foreign event cannot leave a
+        # partially subscribed condition behind.
+        callback = self._child_fired
+        for event in self._events:
+            if event.callbacks is not None:
+                event.callbacks.append(callback)
+        if fired is not None:
+            for event in fired:
+                self._child_fired(event, immediate=True)
 
     def _collect(self) -> dict[Event, Any]:
         # Only *processed* children count as fired: a Timeout carries its
         # value from construction, so checking ``_value`` would wrongly
-        # include timeouts that have not elapsed yet.
+        # include timeouts that have not elapsed yet.  Called exactly
+        # once per condition, at success — child firings only bump the
+        # O(1) ``_remaining`` counter, so an AllOf/AnyOf over N events
+        # does O(N) total bookkeeping, not O(N^2).
         return {e: e._value for e in self._events if e.processed}
 
     def _child_fired(self, event: Event, immediate: bool = False) -> None:
@@ -365,9 +447,9 @@ class AnyOf(Condition):
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, events)
-        if self._value is PENDING and self._remaining < len(self._events):
-            self.succeed(self._collect())
-        elif self._value is PENDING and not self._events:
+        # An empty AnyOf fires immediately (any-of-nothing is vacuous);
+        # non-empty already-fired children were handled by _child_fired.
+        if self._value is PENDING and not self._events:
             self.succeed({})
 
     def _child_fired(self, event: Event, immediate: bool = False) -> None:
@@ -398,6 +480,17 @@ class Environment:
         self._tiebreak = (
             _TIEBREAK_FACTORY() if _TIEBREAK_FACTORY is not None else None
         )
+        #: Immediate-event FIFO lane: ``delay == 0`` posts bypass the heap.
+        #: Entries are (time, insertion id, event).  Because ``_now`` never
+        #: decreases and insertion ids strictly increase, appends arrive in
+        #: nondecreasing (time, id) order, so the deque *is* sorted by the
+        #: same key the heap uses (rank is a constant 0.0 whenever the lane
+        #: is active) — step() pops the global minimum of both lanes and the
+        #: total event order is identical to the heap-only kernel.  Disabled
+        #: under the sanitizer tiebreak factory: random ranks must shuffle
+        #: *all* same-timestamp events, so everything goes through the heap.
+        self._fifo: deque[tuple[float, int, Event]] = deque()
+        self._use_fifo = _FASTPATH and self._tiebreak is None
         self._active_process: Optional[Process] = None
         #: Observability hooks called after each processed event; ``None``
         #: (the default) keeps step() at a single falsy check.
@@ -439,11 +532,33 @@ class Environment:
     def _post(self, event: Event, delay: float = 0.0) -> None:
         """Schedule ``event`` for processing ``delay`` seconds from now."""
         self._eid += 1
+        if delay == 0.0 and self._use_fifo:
+            self._fifo.append((self._now, self._eid, event))
+            return
         rank = 0.0 if self._tiebreak is None else float(self._tiebreak.random())
         heapq.heappush(self._queue, (self._now + delay, rank, self._eid, event))
 
+    def _post_at(self, event: Event, time: float) -> None:
+        """Schedule ``event`` at the *absolute* time ``time``.
+
+        Kernel-internal: used by analytic model fast paths that compute
+        fire times in closed form and must hit the exact float the
+        reference event chain would have produced (``now + delay`` is not
+        bit-identical to a precomputed absolute time under IEEE 754).
+        """
+        self._eid += 1
+        if time == self._now and self._use_fifo:
+            self._fifo.append((self._now, self._eid, event))
+            return
+        rank = 0.0 if self._tiebreak is None else float(self._tiebreak.random())
+        heapq.heappush(self._queue, (time, rank, self._eid, event))
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._fifo:
+            if self._queue and self._queue[0][0] < self._fifo[0][0]:
+                return self._queue[0][0]
+            return self._fifo[0][0]
         return self._queue[0][0] if self._queue else float("inf")
 
     def add_step_listener(self, listener: Callable[[float, Event], None]) -> None:
@@ -458,11 +573,38 @@ class Environment:
         self._step_listeners.append(listener)
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
+        """Process exactly one event.
+
+        Pops the global minimum of the FIFO lane and the heap, keyed by
+        (time, insertion id) — identical total order to a heap-only
+        kernel (ranks are all 0.0 whenever the FIFO lane is in use).
+        """
+        fifo = self._fifo
+        queue = self._queue
+        if fifo:
+            if queue:
+                head = queue[0]
+                imm = fifo[0]
+                ht = head[0]
+                it = imm[0]
+                if ht < it or (ht == it and head[2] < imm[1]):
+                    self._now, _, _, event = heapq.heappop(queue)
+                else:
+                    self._now, _, event = fifo.popleft()
+            else:
+                self._now, _, event = fifo.popleft()
+        elif queue:
+            self._now, _, _, event = heapq.heappop(queue)
+        else:
             raise SimulationError("step() on an empty event queue")
-        self._now, _, _, event = heapq.heappop(self._queue)
-        event._resolve()
+        # Inlined Event._resolve — this is the hottest loop in the repo.
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on must not pass silently.
+            raise event._value
         if self._step_listeners is not None:
             for listener in self._step_listeners:
                 listener(self._now, event)
@@ -474,17 +616,18 @@ class Environment:
         (run until simulated time reaches it), or an :class:`Event` (run
         until that event is processed, returning its value).
         """
+        step = self.step
         if until is None:
-            while self._queue:
-                self.step()
+            while self._queue or self._fifo:
+                step()
             return None
 
         if isinstance(until, Event):
             stop = until
-            while self._queue:
-                if stop.processed:
-                    break
-                self.step()
+            # `stop.callbacks is None` is `stop.processed` without the
+            # property descriptor — this loop brackets every driver run.
+            while stop.callbacks is not None and (self._queue or self._fifo):
+                step()
             if not stop.triggered:
                 raise DeadlockError(
                     "run(until=event): event queue drained before the "
@@ -498,7 +641,7 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"until={horizon!r} is in the past (now={self._now!r})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while self.peek() <= horizon:
+            step()
         self._now = horizon
         return None

@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Deque, Generator, Optional
+from typing import Any, Deque, Generator, Iterable, Optional
 
 from ..errors import ResourceError
-from .engine import Environment, Event, audit_register
+from .engine import Environment, Event, audit_register, fastpath_enabled
 
 __all__ = ["Resource", "PriorityResource", "Request", "Store", "Container"]
 
@@ -236,6 +236,8 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[StoreGet] = deque()
         self._putters: Deque[StorePut] = deque()
+        #: Snapshot of the kernel mode at construction; see put_nowait.
+        self._fastpath = fastpath_enabled()
         audit_register(self)
 
     def __len__(self) -> int:
@@ -245,6 +247,48 @@ class Store:
     def items(self) -> tuple[Any, ...]:
         """Snapshot of buffered items (oldest first)."""
         return tuple(self._items)
+
+    def preload(self, items: Iterable[Any]) -> None:
+        """Seed buffered items without creating accepted-put events.
+
+        Construction-time bulk loading: a pool that pre-populates
+        thousands of free buffers with ``put`` floods the t=0 event
+        queue with StorePut events nobody waits on.  ``preload``
+        side-steps the event machinery entirely, which is only sound
+        while nothing is blocked on the store — it refuses otherwise.
+        """
+        batch = list(items)
+        if self._getters or self._putters:
+            raise ResourceError(
+                f"{self.name or 'store'}: preload with blocked getters/putters"
+            )
+        if self.capacity is not None and len(self._items) + len(batch) > self.capacity:
+            raise ResourceError(
+                f"{self.name or 'store'}: preload of {len(batch)} item(s) "
+                f"exceeds capacity {self.capacity}"
+            )
+        self._items.extend(batch)
+
+    def put_nowait(self, item: Any) -> None:
+        """Fire-and-forget ``put`` for callers that discard the event.
+
+        ``put`` on a non-full store accepts the item and serves waiting
+        getters *synchronously, inside the call* — the StorePut event it
+        returns is already resolved state-wise and exists only so the
+        caller may yield it.  When the caller throws it away (the SCQ
+        datapath puts thousands per run), the event is pure queue load,
+        so the fast-path kernel skips creating it; timing and wakeup
+        order of every other event are unchanged.  Under the reference
+        kernel, or when the put would block (bounded store full), this
+        falls back to ``put`` so behaviour matches the seed exactly.
+        """
+        if self._fastpath and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            self._items.append(item)
+            self._serve_getters()
+        else:
+            self.put(item)
 
     def put(self, item: Any) -> StorePut:
         """Append ``item``; the event fires once the item is accepted."""

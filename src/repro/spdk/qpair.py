@@ -15,13 +15,14 @@ immediately) without simulating every empty poll iteration.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Generator, Optional, Union
 
 from ..errors import ConfigError, QPairResetError, QueueFullError
 from ..hw import NVMeDevice, STATUS_ABORTED_RESET, STATUS_OK
 from ..obs import NULL_METRICS, NULL_TRACER
 from ..sim import Environment, Event, Store, Tally
-from ..sim.engine import audit_register
+from ..sim.engine import audit_register, fastpath_enabled
 from .request import SPDKRequest
 from .target import NVMeoFTarget
 
@@ -81,6 +82,10 @@ class IOQPair:
         #: SimSanitizer hook: checks every delivery against the current
         #: generation (None outside sanitized runs — zero cost).
         self.audit = None
+        #: Local flights ride the device completion callback instead of a
+        #: per-request process (same sim times — the callback fires inside
+        #: the same completion event the process path would resume on).
+        self._fastpath = fastpath_enabled()
         audit_register(self)
 
     def install_observability(self, obs) -> None:
@@ -130,9 +135,42 @@ class IOQPair:
                 attempt=request.attempts,
             )
         self._live[request] = self._generation
-        self.env.process(
-            self._fly(request, self._generation), name=f"{self.name}.io"
-        )
+        if (
+            self._fastpath
+            and not self.is_remote
+            and self.target.injector is None
+        ):
+            # Local healthy flight: submit now and deliver from the
+            # device's completion callback.  The process path submits at
+            # the same sim instant (its Initialize event fires before any
+            # later-time event) and resumes inside the same completion
+            # event this callback rides, so timings are identical — the
+            # per-request Initialize/process-end events simply never
+            # exist.  With an injector installed, the process path keeps
+            # the fault-draw call order bit-identical to the seed.
+            cmd = self.target.read(
+                request.offset, request.nbytes, parent=request.span
+            )
+            cmd.completion.callbacks.append(
+                partial(self._on_device_complete, request, self._generation)
+            )
+        else:
+            self.env.process(
+                self._fly(request, self._generation), name=f"{self.name}.io"
+            )
+
+    def _on_device_complete(
+        self, request: SPDKRequest, generation: int, completion: Event
+    ) -> None:
+        """Completion callback for fast-path local flights."""
+        cmd = completion._value
+        # Same slot-reclaim contract as _fly's finally block.
+        if self._live.get(request) != generation:
+            self.stale_drops += 1
+            return  # reset already delivered ABORTED_RESET for it
+        del self._live[request]
+        self._inflight -= 1
+        self._deliver(request, generation, cmd.status)
 
     def _fly(
         self, request: SPDKRequest, generation: int
@@ -167,6 +205,12 @@ class IOQPair:
         if stale:
             self.stale_drops += 1
             return  # reset already delivered ABORTED_RESET for it
+        self._deliver(request, generation, status)
+
+    def _deliver(
+        self, request: SPDKRequest, generation: int, status: str
+    ) -> None:
+        """Record a non-stale completion and hand it to the sink."""
         request.status = status
         request.complete_time = self.env.now
         if status == STATUS_OK:
@@ -183,7 +227,7 @@ class IOQPair:
             request.span.finish(status=status)
         if self.audit is not None:
             self.audit.check_delivery(self, generation)
-        self.completion_sink.put(request)
+        self.completion_sink.put_nowait(request)
 
     # -- reset / reconnect lifecycle ---------------------------------------------
     def reset(self) -> list[SPDKRequest]:
@@ -212,7 +256,7 @@ class IOQPair:
             if request.span is not None:
                 request.span.event("aborted_by_reset")
                 request.span.finish(status=STATUS_ABORTED_RESET)
-            self.completion_sink.put(request)
+            self.completion_sink.put_nowait(request)
         return aborted
 
     def reconnect(self) -> None:

@@ -10,7 +10,6 @@ hugepage-resident buffers, which the qpair enforces.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..errors import ConfigError
@@ -37,47 +36,63 @@ def aligned_span(offset: int, nbytes: int, block: int = BLOCK) -> tuple[int, int
     return start, end - start
 
 
-@dataclass(eq=False)
 class SPDKRequest:
-    """One block read in flight through a QPair."""
+    """One block read in flight through a QPair.
+
+    A ``__slots__`` class rather than a dataclass: the datapath builds
+    one per posted block read, where dataclass ``__init__`` plus
+    ``default_factory`` overhead is measurable.
+    """
 
     _ids = itertools.count()
 
-    #: Device byte offset (block aligned).
-    offset: int
-    #: Transfer size (block aligned).
-    nbytes: int
-    #: Hugepage chunks that receive the data.
-    chunks: Sequence[HugePageChunk]
-    #: Opaque routing tag (DLFS points this at the pending sample read).
-    tag: Optional[object] = None
-    request_id: int = field(default_factory=lambda: next(SPDKRequest._ids))
-    submit_time: float = 0.0
-    complete_time: float = 0.0
-    #: Completion status (``None`` while in flight; ``"ok"`` or a fault
-    #: status from :mod:`repro.hw.nvme` once completed).
-    status: Optional[str] = None
-    #: Times this request has been posted to a qpair (resets + retries).
-    attempts: int = 0
-    #: Fault retries consumed against the recovery policy's budget.
-    retries: int = 0
-    #: Observability context: the span this request descends from (set
-    #: by the submitter) and the per-flight span the qpair opens at each
-    #: post.  ``None`` when tracing is off — zero-cost pay-for-use.
-    parent_span: Optional[object] = None
-    span: Optional[object] = None
+    __slots__ = (
+        "offset", "nbytes", "chunks", "tag", "request_id", "submit_time",
+        "complete_time", "status", "attempts", "retries", "parent_span",
+        "span",
+    )
 
-    def __post_init__(self) -> None:
-        if self.nbytes <= 0:
+    def __init__(
+        self,
+        offset: int,
+        nbytes: int,
+        chunks: Sequence[HugePageChunk],
+        tag: Optional[object] = None,
+        parent_span: Optional[object] = None,
+    ) -> None:
+        #: Device byte offset (block aligned).
+        self.offset = offset
+        #: Transfer size (block aligned).
+        self.nbytes = nbytes
+        #: Hugepage chunks that receive the data.
+        self.chunks = chunks
+        #: Opaque routing tag (DLFS points this at the pending sample read).
+        self.tag = tag
+        self.request_id = next(SPDKRequest._ids)
+        self.submit_time = 0.0
+        self.complete_time = 0.0
+        #: Completion status (``None`` while in flight; ``"ok"`` or a fault
+        #: status from :mod:`repro.hw.nvme` once completed).
+        self.status: Optional[str] = None
+        #: Times this request has been posted to a qpair (resets + retries).
+        self.attempts = 0
+        #: Fault retries consumed against the recovery policy's budget.
+        self.retries = 0
+        #: Observability context: the span this request descends from (set
+        #: by the submitter) and the per-flight span the qpair opens at each
+        #: post.  ``None`` when tracing is off — zero-cost pay-for-use.
+        self.parent_span = parent_span
+        self.span: Optional[object] = None
+        if nbytes <= 0:
             raise ConfigError("SPDK request size must be positive")
-        if self.offset % BLOCK or self.nbytes % BLOCK:
+        if offset % BLOCK or nbytes % BLOCK:
             raise ConfigError(
                 f"SPDK I/O must be {BLOCK}-byte aligned "
-                f"(offset={self.offset}, nbytes={self.nbytes})"
+                f"(offset={offset}, nbytes={nbytes})"
             )
-        if not self.chunks:
+        if not chunks:
             raise ConfigError("SPDK request needs at least one hugepage chunk")
-        capacity = sum(c.size for c in self.chunks)
+        capacity = sum(c.size for c in chunks)
         if capacity < self.nbytes:
             raise ConfigError(
                 f"buffer capacity {capacity} < request size {self.nbytes}"
