@@ -1,0 +1,178 @@
+"""Multi-tenant serving: weighted fairness + noisy-neighbor isolation.
+
+Not a paper figure — this exercises the tenancy subsystem
+(:mod:`repro.tenancy`) end to end and gates its two acceptance
+properties:
+
+* **fairness** — under saturation (equal offered load, disjoint sample
+  ranges, cache ≪ working set) each tenant's achieved device-service
+  share must be within 5% of its configured SFQ weight share, across
+  several weight vectors;
+* **isolation** — a victim trainer's p99 job latency with a bursty,
+  fault-injected neighbor must stay within 2x of its solo p99.
+
+Shares are measured at the device-service level over the saturation
+window ``[warmup, horizon]`` (see ``FairScheduler.bytes_served``):
+job-level byte accounting over-credits backlogged tenants whose jobs
+dedup onto already-pending fetches, and whole-run shares equalize
+during the drain because every admitted job eventually completes.
+
+Doubles as a CI smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_tenancy.py --quick
+"""
+
+import argparse
+import json
+import sys
+
+from repro.bench.workloads import dlfs_tenancy, fair_tenants
+from repro.faults import FaultPlan
+from repro.tenancy import TenantSpec, TenantWorkload
+
+#: Weight vectors swept by the fairness section.
+WEIGHT_SETS = ((1.0, 1.0, 1.0), (1.0, 2.0, 4.0), (1.0, 3.0, 8.0))
+#: Acceptance bars.
+FAIRNESS_TOLERANCE = 0.05
+ISOLATION_RATIO = 2.0
+
+
+def run_fairness(horizon: float, warmup: float, weight_sets=WEIGHT_SETS):
+    """Achieved device-service share vs configured weight share."""
+    rows = []
+    for weights in weight_sets:
+        specs, workloads = fair_tenants(weights=weights)
+        report = dlfs_tenancy(
+            specs=specs, workloads=workloads, horizon=horizon, warmup=warmup,
+        )
+        total_w = sum(s.weight for s in specs)
+        max_err = 0.0
+        tenants = []
+        for s in specs:
+            want = s.weight / total_w
+            got = report.service_shares.get(s.name, 0.0)
+            err = abs(got - want) / want
+            max_err = max(max_err, err)
+            tenants.append({
+                "tenant": s.name, "weight": s.weight,
+                "want": want, "achieved": got, "err": err,
+            })
+        rows.append({
+            "weights": list(weights),
+            "tenants": tenants,
+            "max_err": max_err,
+            "delivered": report.delivered,
+            "ok": max_err <= FAIRNESS_TOLERANCE,
+        })
+    return rows
+
+
+def isolation_workloads():
+    """The victim/noisy pair; specs shared by the solo and duo runs."""
+    specs = (
+        TenantSpec(name="victim", weight=2.0),
+        TenantSpec(
+            name="noisy", weight=1.0, priority=2,
+            qpair_share=0.5, cache_share=0.25,
+        ),
+    )
+    victim = TenantWorkload(
+        name="victim", kind="train", batch=16, concurrency=2,
+        sample_lo=0, sample_hi=1024,
+    )
+    noisy = TenantWorkload(
+        name="noisy", kind="bursty", rate=2000.0, batch=32,
+        sample_lo=1024, sample_hi=3072,
+    )
+    return specs, victim, noisy
+
+
+def run_isolation(horizon: float, warmup: float):
+    """Victim p99 solo vs next to a bursty, fault-injected neighbor."""
+    specs, victim, noisy = isolation_workloads()
+
+    def victim_p99(report):
+        for row in report.window_rows:
+            if row["tenant"] == "victim":
+                return row["p99"]
+        raise RuntimeError("victim missing from window rows")
+
+    solo = dlfs_tenancy(
+        specs=specs, workloads=(victim,), horizon=horizon, warmup=warmup,
+    )
+    duo = dlfs_tenancy(
+        specs=specs, workloads=(victim, noisy),
+        horizon=horizon, warmup=warmup,
+        fault_plan=FaultPlan(seed=7, tenant_faults=(("noisy", 0.1),)),
+    )
+    p99_solo = victim_p99(solo)
+    p99_duo = victim_p99(duo)
+    ratio = p99_duo / p99_solo if p99_solo > 0 else float("inf")
+    return {
+        "victim_p99_solo": p99_solo,
+        "victim_p99_with_neighbor": p99_duo,
+        "ratio": ratio,
+        "neighbor_fault_rate": 0.1,
+        "duo_delivered": duo.delivered,
+        "duo_failed": duo.failed,
+        "ok": ratio <= ISOLATION_RATIO,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter horizons, fewer weight vectors (CI)")
+    parser.add_argument("--out", default="BENCH_tenancy.json",
+                        help="JSON artifact path (default BENCH_tenancy.json)")
+    args = parser.parse_args(argv)
+
+    horizon = 0.02 if args.quick else 0.05
+    warmup = horizon / 5
+    weight_sets = WEIGHT_SETS[:2] if args.quick else WEIGHT_SETS
+
+    print(f"== bench_tenancy: horizon {horizon * 1e3:.0f} ms, "
+          f"warmup {warmup * 1e3:.0f} ms ==\n")
+
+    print("-- weighted fairness (device-service share in the saturation "
+          "window) --")
+    fairness = run_fairness(horizon, warmup, weight_sets)
+    for row in fairness:
+        status = "ok" if row["ok"] else "FAIL"
+        print(f"  weights {tuple(row['weights'])}: "
+              f"max err {row['max_err']:.2%} [{status}]")
+        for t in row["tenants"]:
+            print(f"    {t['tenant']:<8} want {t['want']:.4f}  "
+                  f"achieved {t['achieved']:.4f}  err {t['err']:.2%}")
+
+    print("\n-- noisy-neighbor isolation (victim p99, saturation window) --")
+    isolation = run_isolation(horizon, warmup)
+    status = "ok" if isolation["ok"] else "FAIL"
+    print(f"  solo            {isolation['victim_p99_solo'] * 1e3:.3f} ms")
+    print(f"  with neighbor   "
+          f"{isolation['victim_p99_with_neighbor'] * 1e3:.3f} ms "
+          f"(bursty + {isolation['neighbor_fault_rate']:.0%} injected "
+          f"media errors on the neighbor)")
+    print(f"  ratio           {isolation['ratio']:.2f}x "
+          f"(bar: {ISOLATION_RATIO:.1f}x) [{status}]")
+
+    ok = all(r["ok"] for r in fairness) and isolation["ok"]
+    artifact = {
+        "ok": ok,
+        "horizon": horizon,
+        "warmup": warmup,
+        "fairness_tolerance": FAIRNESS_TOLERANCE,
+        "isolation_ratio_bar": ISOLATION_RATIO,
+        "fairness": fairness,
+        "isolation": isolation,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    print(f"verdict: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

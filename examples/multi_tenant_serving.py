@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Multi-tenant serving: two weighted trainers plus a bursty scanner.
+
+One DLFS node serves three tenants at once:
+
+* ``train_a`` — closed-loop epoch training, weight 2;
+* ``train_b`` — closed-loop epoch training, weight 1;
+* ``scan``   — an open-loop, heavy-tailed (Pareto) scan tenant, rate
+  limited by a token bucket and demoted to a lower priority class.
+
+The traffic engine generates every arrival from seeded substreams, the
+admission controller bounces scan bursts that overflow their bucket
+queue, and the reactor's start-time fair-queueing scheduler splits
+device time 2:1 between the trainers while the bursty neighbor is held
+to its rate — the per-tenant table printed at the end shows achieved
+device-service shares next to p50/p99 job latency.
+
+Run:  PYTHONPATH=src python examples/multi_tenant_serving.py
+"""
+
+from repro.bench.workloads import demo_tenants, dlfs_tenancy
+from repro.obs import render_tenants
+
+HORIZON = 0.05  # arrival window, simulated seconds
+WARMUP = 0.01   # service-share measurement starts here
+
+
+def main() -> None:
+    specs, workloads = demo_tenants()
+    report = dlfs_tenancy(
+        specs=specs, workloads=workloads, horizon=HORIZON, warmup=WARMUP,
+    )
+
+    print("== multi-tenant serving: 1 node, 3 tenants ==")
+    for s in specs:
+        limits = []
+        if s.rate > 0:
+            limits.append(f"rate {s.rate:,.0f} samples/s")
+        if s.cache_share > 0:
+            limits.append(f"cache {s.cache_share:.0%}")
+        if s.qpair_share < 1:
+            limits.append(f"qpair {s.qpair_share:.0%}")
+        extra = f" ({', '.join(limits)})" if limits else ""
+        print(f"  {s.name}: weight {s.weight:g}, priority {s.priority}{extra}")
+    print()
+    print(f"throughput        {report.sample_throughput:,.0f} samples/s")
+    print(f"delivered         {report.delivered} samples "
+          f"({report.failed} failed, {report.rejected_jobs} jobs rejected)")
+    print(f"sim time          {report.sim_time * 1e3:.2f} ms "
+          f"(arrivals stop at {HORIZON * 1e3:.0f} ms, then drain)")
+    print(f"preemptions       {report.preemptions} "
+          f"(forced anti-starvation serves: {report.forced_serves})")
+    print()
+    print(render_tenants(
+        report.window_rows,
+        title="saturation window (arrival-horizon edge)",
+        service_shares=report.service_shares,
+    ))
+    print()
+    print(render_tenants(report.per_tenant, title="full run (after drain)"))
+
+    # The property the scheduler guarantees: among the always-backlogged
+    # trainers, device service tracks the 2:1 weights.
+    a = report.service_shares.get("train_a", 0.0)
+    b = report.service_shares.get("train_b", 0.0)
+    if b > 0:
+        print(f"\ntrain_a : train_b device-service ratio = {a / b:.2f} "
+              f"(configured weights 2.00)")
+
+
+if __name__ == "__main__":
+    main()

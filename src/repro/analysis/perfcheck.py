@@ -71,17 +71,21 @@ def _full_witness(result: Any) -> Dict[str, Any]:
 
 
 def default_workloads(quick: bool = False) -> Dict[str, Callable[[], Any]]:
-    """The fig06/fig08 correctness gates.
+    """The fig06/fig08/tenancy correctness gates.
 
-    Both return a :class:`~repro.bench.workloads.TraceReport` with
-    metrics enabled so the snapshot digest is part of the witness.
-    ``quick`` shrinks the sample counts for CI smoke use; the datapath
-    coverage (client → reactor → qpair → device → fabric) is the same.
+    All return a :class:`~repro.bench.workloads.TraceReport`-shaped
+    result with metrics enabled so the snapshot digest is part of the
+    witness.  ``quick`` shrinks the sample counts for CI smoke use; the
+    datapath coverage (client → reactor → qpair → device → fabric) is
+    the same.  The tenancy workload routes through the multi-tenant
+    splice — admission, SFQ lanes, cache partition — so the fast-path
+    kernel is also proven invisible to the fair-queued datapath.
     """
-    from ..bench.workloads import dlfs_observed
+    from ..bench.workloads import dlfs_observed, dlfs_tenancy
 
     samples = 256 if quick else 1024
     nodes = 2 if quick else 4
+    horizon = 0.02 if quick else 0.05
     return {
         "fig06_single_node": lambda: dlfs_observed(
             samples=samples, batch=32, mode="chunk", num_nodes=1,
@@ -90,6 +94,9 @@ def default_workloads(quick: bool = False) -> Dict[str, Callable[[], Any]]:
         "fig08_multi_node": lambda: dlfs_observed(
             samples=samples, batch=32, mode="chunk", num_nodes=nodes,
             trace=False, metrics=True,
+        ),
+        "tenancy_multi_tenant": lambda: dlfs_tenancy(
+            horizon=horizon, warmup=horizon / 5, metrics=True,
         ),
     }
 

@@ -49,9 +49,13 @@ __all__ = [
     "tf_ingest_throughput",
     "dlfs_chaos",
     "dlfs_observed",
+    "dlfs_tenancy",
+    "demo_tenants",
+    "fair_tenants",
     "Result",
     "ChaosResult",
     "TraceReport",
+    "TenancyReport",
 ]
 
 DEFAULT_SEED = 42
@@ -736,6 +740,213 @@ def dlfs_observed(
         obs=fs.obs,
         reactor_names=tuple(c.reactor.name for c in clients),
         recovery=recovery_merged,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant serving driver
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TenancyReport:
+    """One multi-tenant serving run (:func:`dlfs_tenancy`)."""
+
+    #: Delivered samples per simulated second (over the full run).
+    sample_throughput: float
+    #: Samples delivered across all tenants.
+    delivered: int
+    #: Samples lost to unrecoverable faults.
+    failed: int
+    #: Jobs bounced by admission control (token-bucket queue overflow).
+    rejected_jobs: int
+    #: Final simulated time (arrival horizon + drain + teardown).
+    sim_time: float
+    #: Every completed job's sample indices in (tenant, job-key) order —
+    #: the determinism witness (completion-order independent).
+    samples_read: np.ndarray
+    #: Per-tenant accounting rows at the end of the run (after drain).
+    per_tenant: tuple
+    #: The same rows snapshotted at the arrival-horizon edge, while the
+    #: system is still saturated.  Whole-run shares equalize during the
+    #: drain (every admitted job eventually completes), so fairness is
+    #: only visible in this window.
+    window_rows: tuple
+    #: Fraction of device-service bytes per tenant over the measured
+    #: window ``[warmup, horizon]``.  This is the SFQ fairness metric:
+    #: job-level bytes over-credit backlogged tenants whose jobs dedup
+    #: onto already-pending fetches.
+    service_shares: dict
+    #: Device-service byte deltas behind ``service_shares``.
+    service_bytes: dict
+    #: Scheduler counters: preemptions, forced (anti-starvation) serves.
+    preemptions: int
+    forced_serves: int
+    #: The observability bundle (null objects unless metrics/trace on).
+    obs: object
+
+
+def demo_tenants() -> tuple:
+    """The reference three-tenant mix: ``(specs, workloads)``.
+
+    Two closed-loop training tenants with 2:1 weights (concurrency 4
+    keeps each trainer backlogged at the scheduler, so the weighted
+    share is actually realized) plus one bursty
+    open-loop scan tenant that is rate-limited by a token bucket, runs
+    at a lower priority class, and is capped to a quarter of the sample
+    cache and half of each qpair's depth — the configuration the
+    example, the ``serve`` CLI, and the perfcheck workload all share.
+    Sample ranges are disjoint thirds of a 3072-sample dataset.
+    """
+    from ..tenancy import TenantSpec, TenantWorkload
+
+    specs = (
+        TenantSpec(name="train_a", weight=2.0, slo_latency=5e-3),
+        TenantSpec(name="train_b", weight=1.0, slo_latency=5e-3),
+        TenantSpec(
+            name="scan", weight=1.0, priority=2, rate=4000.0, burst=256.0,
+            max_queued_jobs=32, cache_share=0.25, qpair_share=0.5,
+        ),
+    )
+    workloads = (
+        TenantWorkload(
+            name="train_a", kind="train", batch=16, concurrency=4,
+            sample_lo=0, sample_hi=1024,
+        ),
+        TenantWorkload(
+            name="train_b", kind="train", batch=16, concurrency=4,
+            sample_lo=1024, sample_hi=2048,
+        ),
+        TenantWorkload(
+            name="scan", kind="bursty", rate=300.0, batch=32,
+            sample_lo=2048, sample_hi=3072,
+        ),
+    )
+    return specs, workloads
+
+
+def fair_tenants(
+    weights: tuple = (1.0, 2.0, 4.0),
+    rate: float = 20000.0,
+    span: int = 1024,
+    batch: int = 8,
+) -> tuple:
+    """A saturating fairness mix: ``(specs, workloads)``.
+
+    One open-loop Poisson tenant per weight, all offering the *same*
+    load (``rate`` jobs/s of ``batch`` samples) over disjoint ranges, so
+    under saturation the achieved device-service shares are set purely
+    by the SFQ weights.
+    """
+    from ..tenancy import TenantSpec, TenantWorkload
+
+    specs = tuple(
+        TenantSpec(name=f"t{i}w{w:g}", weight=float(w))
+        for i, w in enumerate(weights)
+    )
+    workloads = tuple(
+        TenantWorkload(
+            name=s.name, kind="poisson", rate=rate, batch=batch,
+            sample_lo=i * span, sample_hi=(i + 1) * span,
+        )
+        for i, s in enumerate(specs)
+    )
+    return specs, workloads
+
+
+def dlfs_tenancy(
+    specs: Optional[tuple] = None,
+    workloads: Optional[tuple] = None,
+    num_samples: int = 3072,
+    sample_bytes: int = 16 * 1024,
+    horizon: float = 0.05,
+    warmup: float = 0.01,
+    seed: int = DEFAULT_SEED,
+    queue_depth: int = 32,
+    hugepage_bytes: int = 16 * 1024 * 1024,
+    metrics: bool = False,
+    trace: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    max_bypass: int = 8,
+    testbed: Optional[Testbed] = None,
+) -> TenancyReport:
+    """One multi-tenant serving run on a single node.
+
+    Defaults to :func:`demo_tenants`.  The testbed's hugepage pool is
+    shrunk (16 MB ≫ one batch, ≪ the dataset) so the run is I/O-bound:
+    with the whole dataset cache-resident, hits bypass the scheduler and
+    fairness becomes unmeasurable.  ``warmup``/``horizon`` bound the
+    service-share measurement window; arrivals stop at ``horizon`` and
+    the run then drains every outstanding job and shuts down cleanly.
+    """
+    import dataclasses
+
+    from ..tenancy import TrafficEngine
+
+    if (specs is None) != (workloads is None):
+        raise ConfigError("pass both specs and workloads, or neither")
+    if specs is None:
+        specs, workloads = demo_tenants()
+    if not 0.0 <= warmup < horizon:
+        raise ConfigError("need 0 <= warmup < horizon")
+    env = Environment()
+    tb = testbed or Testbed.paper()
+    if hugepage_bytes:
+        tb = dataclasses.replace(tb, hugepage_bytes=hugepage_bytes)
+    cluster = Cluster(env, tb, num_nodes=1, devices_per_node=1)
+    ds = _dataset(num_samples, sample_bytes)
+    config = DLFSConfig(
+        batching="sample", queue_depth=queue_depth, tenants=tuple(specs),
+        tenancy_max_bypass=max_bypass, trace=trace, metrics=metrics,
+        fault_plan=fault_plan, recovery=recovery,
+    )
+    fs = DLFS.mount(cluster, ds, config)
+    client = fs.client(rank=0, num_ranks=1)
+    runtime = client.tenancy
+    engine = TrafficEngine(
+        env, runtime, ds, tuple(workloads), seed=seed, horizon=horizon
+    )
+    procs = engine.start()
+
+    def service_bytes() -> dict:
+        return dict(runtime.scheduler.bytes_served)
+
+    if warmup > 0:
+        env.run(until=warmup)
+    base = service_bytes()
+    env.run(until=horizon)
+    edge = service_bytes()
+    window_rows = tuple(runtime.accounting.rows())
+    env.run(until=env.all_of(procs))
+    env.run(until=env.process(engine.drain(), name="tenancy.drain"))
+
+    def teardown(env):
+        yield from client.shutdown()
+
+    env.run(until=env.process(teardown(env), name="tenancy.teardown"))
+    env.run()  # drain trailing timers
+
+    deltas = {
+        t: edge[t] - base.get(t, 0) for t in sorted(edge)
+        if edge[t] - base.get(t, 0) > 0
+    }
+    total = sum(deltas.values())
+    shares = {t: deltas[t] / total for t in deltas} if total else {}
+    sched = runtime.scheduler
+    return TenancyReport(
+        sample_throughput=engine.delivered / env.now if env.now > 0 else 0.0,
+        delivered=engine.delivered,
+        failed=engine.failed,
+        rejected_jobs=engine.rejected_jobs,
+        sim_time=env.now,
+        samples_read=engine.samples_read(),
+        per_tenant=tuple(runtime.accounting.rows()),
+        window_rows=window_rows,
+        service_shares=shares,
+        service_bytes=deltas,
+        preemptions=sched.preemptions,
+        forced_serves=sched.forced_serves,
+        obs=fs.obs,
     )
 
 

@@ -24,6 +24,13 @@ the per-layer latency attribution / percentile tables::
     python -m repro trace --samples 2000
     python -m repro trace --fault-plan media=0.02,reset_period=0.002 --out results/trace
 
+``serve`` runs the multi-tenant serving demo — the seeded traffic
+engine driving weighted tenants through admission control and the
+fair-queued datapath — and prints the per-tenant SLO/fairness tables::
+
+    python -m repro serve
+    python -m repro serve --horizon 0.1 --seed 7 --out results/serve.json
+
 ``lint`` and ``sanitize`` are the determinism gates (both used by CI)::
 
     python -m repro lint src/repro              # AST rules, exit 1 on findings
@@ -150,6 +157,27 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--out", type=pathlib.Path,
                          default=pathlib.Path("results/trace"),
                          help="output directory (default results/trace)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="multi-tenant serving demo: traffic engine + admission + "
+             "weighted-fair scheduling, with per-tenant SLO tables",
+    )
+    p_serve.add_argument("--horizon", type=float, default=0.05,
+                         help="arrival window in sim seconds (default 0.05)")
+    p_serve.add_argument("--warmup", type=float, default=0.01,
+                         help="service-share window start (default 0.01)")
+    p_serve.add_argument("--seed", type=int, default=42,
+                         help="traffic-engine seed (default 42)")
+    p_serve.add_argument("--queue-depth", type=int, default=32)
+    p_serve.add_argument(
+        "--fault-plan", default="zero",
+        help="fault plan as for 'chaos'; supports tenant.NAME=rate keys",
+    )
+    p_serve.add_argument("--quick", action="store_true",
+                         help="shorter horizon (CI smoke)")
+    p_serve.add_argument("--out", type=pathlib.Path, default=None,
+                         help="write a JSON summary here")
 
     p_lint = sub.add_parser(
         "lint", help="simlint: static determinism analysis (exit 1 on findings)"
@@ -292,6 +320,64 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {metrics_path}")
         print(f"wrote {args.out / 'breakdown.txt'}")
         print(f"[trace in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        return 0
+
+    if args.command == "serve":
+        import json
+
+        from .bench.workloads import dlfs_tenancy
+        from .errors import ConfigError
+        from .faults import parse_fault_plan
+        from .obs import render_tenants
+
+        try:
+            plan = parse_fault_plan(args.fault_plan)
+        except ConfigError as exc:
+            print(f"error: --fault-plan: {exc}", file=sys.stderr)
+            return 2
+        horizon = 0.02 if args.quick else args.horizon
+        warmup = min(args.warmup, horizon / 5)
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        r = dlfs_tenancy(
+            horizon=horizon, warmup=warmup, seed=args.seed,
+            queue_depth=args.queue_depth,
+            fault_plan=None if plan.is_zero else plan,
+        )
+        print(f"== serve: 3 tenants, horizon {horizon * 1e3:.0f} ms, "
+              f"seed {args.seed} ==")
+        print(f"throughput        {r.sample_throughput:,.0f} samples/s")
+        print(f"delivered         {r.delivered}")
+        if r.failed:
+            print(f"failed            {r.failed}")
+        if r.rejected_jobs:
+            print(f"rejected jobs     {r.rejected_jobs}")
+        print(f"sim time          {r.sim_time * 1e3:.3f} ms")
+        print(f"preemptions       {r.preemptions}  "
+              f"(forced anti-starvation serves: {r.forced_serves})")
+        print()
+        print(render_tenants(
+            r.window_rows,
+            title="saturation window (arrival-horizon edge)",
+            service_shares=r.service_shares,
+        ))
+        print()
+        print(render_tenants(r.per_tenant, title="full run (after drain)"))
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            summary = {
+                "delivered": r.delivered,
+                "failed": r.failed,
+                "rejected_jobs": r.rejected_jobs,
+                "sim_time": r.sim_time,
+                "service_shares": r.service_shares,
+                "preemptions": r.preemptions,
+                "forced_serves": r.forced_serves,
+                "window_rows": list(r.window_rows),
+                "per_tenant": list(r.per_tenant),
+            }
+            args.out.write_text(json.dumps(summary, indent=2) + "\n")
+            print(f"\nwrote {args.out}")
+        print(f"[serve in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0
 
     if args.command == "lint":

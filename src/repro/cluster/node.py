@@ -47,6 +47,16 @@ class Node:
         self.devices.append(device)
         return device
 
+    def chunk_quota(self, share: float) -> int:
+        """Hugepage-chunk quota for a fractional cache share (>= 1 chunk).
+
+        Used by the tenancy partition to turn a per-tenant ``cache_share``
+        into an absolute chunk count against this node's pool.
+        """
+        if not 0.0 < share <= 1.0:
+            raise ConfigError(f"cache share must be in (0, 1], got {share}")
+        return max(1, int(self.hugepages.num_chunks * share))
+
     @property
     def device(self) -> NVMeDevice:
         """The node's single device; raises if there are zero or many."""

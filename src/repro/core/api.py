@@ -103,6 +103,14 @@ class DLFSConfig:
     #: Metrics time-series snapshot period in simulated seconds
     #: (0 = no periodic snapshots).  Pull-based — never extends a run.
     snapshot_period: float = 0.0
+    #: Multi-tenant serving (:mod:`repro.tenancy`): per-tenant
+    #: :class:`~repro.tenancy.TenantSpec` policies.  Empty keeps the
+    #: single-job datapath bit-identical — pay-for-use, like faults/obs.
+    tenants: tuple = ()
+    #: Priority-bypass bound of the fair scheduler: how many times the
+    #: SFQ leader may be passed over for a higher class before it is
+    #: served regardless.
+    tenancy_max_bypass: int = 8
 
     def validate(self) -> None:
         if self.batching not in (BATCH_NONE, BATCH_SAMPLE, BATCH_CHUNK):
@@ -117,6 +125,14 @@ class DLFSConfig:
             self.fault_plan.validate()
         if self.recovery is not None:
             self.recovery.validate()
+        if self.tenancy_max_bypass < 1:
+            raise ConfigError("tenancy_max_bypass must be >= 1")
+        seen = []
+        for spec in self.tenants:
+            spec.validate()
+            if spec.name in seen:
+                raise ConfigError(f"duplicate tenant {spec.name!r}")
+            seen.append(spec.name)
 
 
 @dataclass(eq=False)
@@ -410,6 +426,25 @@ class DLFSClient:
                 )
         self.qpairs = qpairs
 
+        # Multi-tenant serving: build the runtime (admission + fair
+        # scheduler + cache partition + accounting) only when tenants
+        # are configured — pay-for-use like faults and obs.
+        self.tenancy = None
+        if config.tenants:
+            from ..tenancy import TenantRuntime  # local import, no cycle
+
+            self.tenancy = TenantRuntime(
+                self.env,
+                config.tenants,
+                queue_depth=config.queue_depth,
+                registry=fs.obs.metrics if fs.obs.enabled else None,
+                max_bypass=config.tenancy_max_bypass,
+            )
+            # Tenant-keyed fault plans draw at completion delivery.
+            if fs.injector is not None and fs.injector.has_tenant_faults:
+                for qp in qpairs.values():
+                    qp.injector = fs.injector
+
         thread = BoundThread(node.cpu.core(core_index), f"dlfs.r{rank}.io")
         testbed = fs.cluster.testbed
         self.reactor = Reactor(
@@ -430,6 +465,7 @@ class DLFSClient:
             zero_copy=config.zero_copy,
             injector=fs.injector,
             recovery=fs.recovery,
+            tenancy=self.tenancy,
             name=f"dlfs.{node.name}.r{rank}",
         )
         if config.copy_cores:

@@ -55,9 +55,14 @@ class SampleCache:
         self,
         pool: HugePagePool,
         on_evict: Optional[Callable[[object], None]] = None,
+        on_free: Optional[Callable[[object], None]] = None,
     ) -> None:
         self.pool = pool
         self.on_evict = on_evict
+        # Fires whenever a slot's chunks return to the pool (eviction AND
+        # discard) — unlike on_evict, which only marks V-bit invalidation.
+        # The tenancy cache partition uncharges quotas here.
+        self.on_free = on_free
         self._slots: dict[object, CacheSlot] = {}
         # Clean (evictable) slots in eviction order, oldest first.
         self._clean: OrderedDict[object, None] = OrderedDict()
@@ -155,6 +160,21 @@ class SampleCache:
         if slot.refs == 0 and slot.state == RESIDENT:
             self._clean[key] = None
 
+    def clean_keys(self) -> tuple:
+        """Keys of evictable slots, oldest (next-to-evict) first."""
+        return tuple(self._clean)
+
+    def evict(self, key: object) -> None:
+        """Targeted eviction of one clean slot (tenant quota reclaim)."""
+        slot = self._require(key)
+        if slot.refs or slot.state != RESIDENT or key not in self._clean:
+            raise DirectoryError(f"slot {key!r} is not clean; cannot evict")
+        self._clean.pop(key)
+        self.evictions += 1
+        self._free_slot(slot)
+        if self.on_evict is not None:
+            self.on_evict(key)
+
     def discard(self, key: object) -> None:
         """Forcibly drop a slot (abort path); must be unreferenced."""
         slot = self._require(key)
@@ -183,6 +203,8 @@ class SampleCache:
         for chunk in slot.chunks:
             self.pool.free(chunk)
         slot.chunks = []
+        if self.on_free is not None:
+            self.on_free(slot.key)
 
     def __repr__(self) -> str:
         return (

@@ -116,6 +116,9 @@ class ReadJob:
     errors: list = field(default_factory=list)
     #: Observability: the batch span covering this job (None = untraced).
     span: Optional[object] = None
+    #: Multi-tenant serving: owning tenant name (None = untagged, which
+    #: schedules at weight 1 when a FairScheduler is attached).
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.remaining = len(self.samples)
@@ -136,10 +139,11 @@ class _PendingFetch:
     """One in-flight span: its cache slot, parts, and waiting deliveries."""
 
     __slots__ = ("key", "shard", "offset", "nbytes", "samples",
-                 "parts_remaining", "waiters", "posted", "failed", "span")
+                 "parts_remaining", "waiters", "posted", "failed", "span",
+                 "tenant")
 
     def __init__(self, key, shard: int, offset: int, nbytes: int,
-                 samples: np.ndarray) -> None:
+                 samples: np.ndarray, tenant: Optional[str] = None) -> None:
         self.key = key
         self.shard = shard
         self.offset = offset          # aligned device offset
@@ -153,6 +157,9 @@ class _PendingFetch:
         self.failed: Optional[BaseException] = None
         #: Observability: trace span covering the fetch (None = untraced).
         self.span: Optional[object] = None
+        #: Tenant that first requested the span (charged for it by the
+        #: fair scheduler); later cross-tenant waiters share it free.
+        self.tenant = tenant
 
 
 class CopyPool:
@@ -221,6 +228,7 @@ class Reactor:
         zero_copy: bool = False,
         injector: Optional[FaultInjector] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tenancy: Optional[object] = None,
         name: str = "dlfs.reactor",
     ) -> None:
         self.env = env
@@ -255,6 +263,12 @@ class Reactor:
         self._postq: dict[int, deque[SPDKRequest]] = {
             shard: deque() for shard in qpairs
         }
+        #: Multi-tenant serving (pay-for-use: None keeps the single-job
+        #: datapath bit-identical).  When set, the runtime's scheduler
+        #: replaces the rpq/postq deques with weighted-fair lanes.
+        self.tenancy = tenancy
+        if tenancy is not None:
+            tenancy.attach(self)
         self._pending: dict[object, _PendingFetch] = {}
         self.read_meter = ThroughputMeter(env, name=f"{name}.delivered")
         self.job_latency = Tally(f"{name}.job_latency")
@@ -457,6 +471,7 @@ class Reactor:
                 fetch = _PendingFetch(
                     key, result.shard, offset, nbytes,
                     samples=np.array([s], dtype=np.int64),
+                    tenant=job.tenant,
                 )
                 if self.tracer.enabled:
                     fetch.span = self.tracer.start(
@@ -483,19 +498,28 @@ class Reactor:
                 self._start_delivery(job, key, int(sizes[s]))
                 continue
             self.cache.misses += 1
-            fetch = self._ensure_fetch(key, kind, rid, parent=job.span)
+            fetch = self._ensure_fetch(
+                key, kind, rid, parent=job.span, tenant=job.tenant
+            )
             fetch.waiters.append((job, int(sizes[s])))
         for kind, rid in job.prefetch:
             key = ("c", rid) if kind == REQ_CHUNK else ("e", rid)
             slot = self.cache.slot(key)
             if slot is None and key not in self._pending:
-                self._ensure_fetch(key, kind, rid, parent=job.span)
+                self._ensure_fetch(
+                    key, kind, rid, parent=job.span, tenant=job.tenant
+                )
         self._layers.add("prep", cost)
         if cost > 0.0:
             yield self.thread.delay(cost)
 
     def _ensure_fetch(
-        self, key, kind: int, rid: int, parent: Optional[object] = None
+        self,
+        key,
+        kind: int,
+        rid: int,
+        parent: Optional[object] = None,
+        tenant: Optional[str] = None,
     ) -> _PendingFetch:
         fetch = self._pending.get(key)
         if fetch is not None:
@@ -509,7 +533,7 @@ class Reactor:
             shard = loc.shard
             offset, nbytes = aligned_span(loc.offset, loc.length)
             samples = np.array([rid], dtype=np.int64)
-        fetch = _PendingFetch(key, shard, offset, nbytes, samples)
+        fetch = _PendingFetch(key, shard, offset, nbytes, samples, tenant=tenant)
         if self.tracer.enabled:
             fetch.span = self.tracer.start(
                 "reactor.fetch", track=self.name, parent=parent,
@@ -533,6 +557,9 @@ class Reactor:
         return False
 
     def _pump(self) -> Generator[Event, Any, None]:
+        if self.tenancy is not None:
+            yield from self._pump_fair()
+            return
         cost = 0.0
         for shard, qp in self.qpairs.items():
             postq = self._postq[shard]
@@ -589,6 +616,74 @@ class Reactor:
             self._layers.add("post", cost)
             yield self.thread.delay(cost)
 
+    def _pump_fair(self) -> Generator[Event, Any, None]:
+        """Multi-tenant post stage: SFQ arbitration over queued work.
+
+        Same mechanics as ``_pump`` — promote ready fetches into parts,
+        post parts up to the qpair depth, pay the doorbell between posts
+        (the SimSanitizer arrival-order invariant) — but *which* queued
+        item goes next is decided by the fair scheduler: weighted start
+        tags, priority classes with bounded bypass, per-tenant in-flight
+        caps, and the cache-partition quota gate on promotions.
+        """
+        sched = self.tenancy.scheduler
+        partition = self.tenancy.partition
+        cost = 0.0
+        for shard, qp in self.qpairs.items():
+            while qp.free_slots > 0:
+                entry = sched.select_part(shard)
+                if entry is None:
+                    fentry = sched.select_fetch(shard)
+                    if fentry is None:
+                        break
+                    fetch = fentry.item
+                    need = self.cache.chunks_needed(fetch.nbytes)
+                    partition.reserve(fetch.tenant, fetch.key, need)
+                    slot = self.cache.try_insert(fetch.key, fetch.nbytes)
+                    if slot is None:
+                        # Global memory pressure (not a quota denial);
+                        # retried on the next message, like _pump.
+                        partition.cancel(fetch.key)
+                        break
+                    sched.take(shard, fentry, "fetch")
+                    chunk_size = self.cache.pool.chunk_size
+                    offset = fetch.offset
+                    remaining = fetch.nbytes
+                    ci = 0
+                    while remaining > 0:
+                        part = min(chunk_size, remaining)
+                        sched.enqueue_part_inherit(
+                            shard,
+                            SPDKRequest(
+                                offset=offset,
+                                nbytes=part,
+                                chunks=[slot.chunks[ci]],
+                                tag=fetch,
+                                parent_span=fetch.span,
+                            ),
+                            fentry.start,
+                        )
+                        fetch.parts_remaining += 1
+                        offset += part
+                        remaining -= part
+                        ci += 1
+                    cost += self.cpu.request_setup * fetch.parts_remaining
+                    continue  # reselect: the new parts now compete
+                req = sched.take(shard, entry, "part")
+                if req.tag.failed is not None:
+                    self._part_failed(req.tag, req.tag.failed)
+                    continue
+                qp.post(req)
+                sched.on_posted(entry.tenant, shard)
+                if self.recovery is not None:
+                    self._arm_watchdog(req)
+                self._layers.add("post", self.net.rdma_post_overhead)
+                if self.net.rdma_post_overhead > 0.0:
+                    yield self.thread.delay(self.net.rdma_post_overhead)
+        if cost > 0.0:
+            self._layers.add("post", cost)
+            yield self.thread.delay(cost)
+
     # -- poll + copy stages -----------------------------------------------------------
     def _on_completion(self, req: SPDKRequest) -> Generator[Event, Any, None]:
         poll_cost = self.cpu.poll_iteration
@@ -600,6 +695,10 @@ class Reactor:
         if poll_cost > 0.0:
             yield self.thread.delay(poll_cost)
         fetch: _PendingFetch = req.tag
+        if self.tenancy is not None:
+            # Every sink delivery closes exactly one post (retries and
+            # reset-aborted parts are re-posted, and re-counted, later).
+            self.tenancy.scheduler.on_complete(fetch.tenant, fetch.shard)
         if self.recovery is not None and req.status != STATUS_OK:
             self._recover(req)
             return

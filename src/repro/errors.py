@@ -92,6 +92,22 @@ class QPairResetError(FaultError):
     """An I/O qpair was reset (or is disconnected) with requests in flight."""
 
 
+class AdmissionRejected(ReproError):
+    """A tenant's read job was refused at admission control.
+
+    Raised (recorded per sample, like :class:`SampleReadError`) when the
+    tenant's token bucket is exhausted *and* its deferred-admission queue
+    is full.  The job still completes — the rejection is visible in
+    ``job.errors`` — so open-loop traffic generators never wedge on a
+    throttled tenant.
+    """
+
+    def __init__(self, message: str, tenant: object = None, key: object = None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.key = key
+
+
 class SampleReadError(FaultError):
     """A sample could not be delivered after exhausting the retry budget.
 

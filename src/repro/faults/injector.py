@@ -47,6 +47,7 @@ class FaultInjector:
         self.trace: list[FaultEvent] = []
         self.counts = Counter()
         self._streams: dict[str, np.random.Generator] = {}
+        self._tenant_rates: dict[str, float] = dict(plan.tenant_faults)
 
     # -- substreams ---------------------------------------------------------
     def _stream(self, site: str) -> np.random.Generator:
@@ -102,6 +103,25 @@ class FaultInjector:
             self.record(now, f"nvmf.{target}", "nvmf_drop")
             return self.plan.link_stall
         return None
+
+    # -- tenant-keyed sites ---------------------------------------------------------
+    @property
+    def has_tenant_faults(self) -> bool:
+        return any(rate > 0.0 for rate in self._tenant_rates.values())
+
+    def tenant_fault(self, tenant: Optional[str], now: float) -> bool:
+        """Extra media-error roll for one completion of ``tenant``'s span.
+
+        Tenants absent from the plan (and untagged spans) consume no
+        randomness, so targeting one tenant perturbs nothing else.
+        """
+        if tenant is None:
+            return False
+        rate = self._tenant_rates.get(tenant, 0.0)
+        if self._roll(f"tenant.{tenant}.media", rate):
+            self.record(now, f"tenant.{tenant}", "tenant_media_error")
+            return True
+        return False
 
     # -- forced qpair resets --------------------------------------------------------
     @property

@@ -60,13 +60,30 @@ class FaultPlan:
     #: Uniform jitter fraction applied to each reset period.
     qpair_reset_jitter: float = 0.25
 
+    # -- tenant-keyed faults ----------------------------------------------------
+    #: Per-tenant media-error rates, as ``((tenant, rate), ...)``: each
+    #: completion delivered for that tenant's spans rolls an extra
+    #: media-error chance from a per-tenant substream.  Lets chaos runs
+    #: target one tenant and check its retries cannot starve a neighbor.
+    tenant_faults: tuple = ()
+
     def validate(self) -> None:
         for f in fields(self):
             value = getattr(self, f.name)
-            if f.name == "seed":
+            if f.name in ("seed", "tenant_faults"):
                 continue
             if value < 0:
                 raise ConfigError(f"fault plan field {f.name} must be >= 0")
+        for entry in self.tenant_faults:
+            if len(entry) != 2:
+                raise ConfigError("tenant_faults entries must be (tenant, rate)")
+            tenant, rate = entry
+            if not tenant:
+                raise ConfigError("tenant_faults tenant name must be non-empty")
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(
+                    f"tenant_faults rate for {tenant!r} is a probability; got {rate}"
+                )
         for rate in ("media_error_rate", "hiccup_rate", "timeout_rate",
                      "link_drop_rate", "nvmf_drop_rate"):
             if getattr(self, rate) > 1.0:
@@ -82,6 +99,7 @@ class FaultPlan:
             and self.link_drop_rate == 0.0
             and self.nvmf_drop_rate == 0.0
             and self.qpair_reset_period == 0.0
+            and not any(rate > 0.0 for _tenant, rate in self.tenant_faults)
         )
 
 
@@ -172,11 +190,34 @@ def parse_fault_plan(text: str) -> FaultPlan:
 
     valid = {f.name for f in fields(FaultPlan)}
     updates = {}
+    tenant_faults = []
+    def _number(key, value, cast=float):
+        try:
+            return cast(value)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"bad fault-plan value for {key!r}: {value!r}"
+            ) from None
+
     for key, value in items:
+        if key.startswith("tenant."):
+            # Inline tenant-keyed media rate: "tenant.alice=0.02".
+            tenant = key[len("tenant."):].strip()
+            if not tenant:
+                raise ConfigError(f"bad fault-plan entry {key!r}: empty tenant name")
+            tenant_faults.append((tenant, _number(key, value)))
+            continue
         name = _ALIASES.get(key, key)
         if name not in valid:
             raise ConfigError(f"unknown fault-plan field {key!r}")
-        updates[name] = int(value) if name == "seed" else float(value)
+        if name == "tenant_faults":
+            # JSON form: {"tenant_faults": {"alice": 0.02}} or pair list.
+            pairs = value.items() if isinstance(value, dict) else value
+            tenant_faults.extend((t, _number(t, r)) for t, r in pairs)
+            continue
+        updates[name] = _number(key, value, int if name == "seed" else float)
+    if tenant_faults:
+        updates["tenant_faults"] = tuple(tenant_faults)
     plan = replace(FaultPlan(), **updates)
     plan.validate()
     return plan

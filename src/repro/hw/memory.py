@@ -13,7 +13,53 @@ from typing import Any, Generator, Optional
 from ..errors import AllocationError, ConfigError
 from ..sim import Environment, Event, Store, fastpath_enabled
 
-__all__ = ["HugePageChunk", "HugePagePool"]
+__all__ = ["HugePageChunk", "HugePagePool", "ChunkLedger"]
+
+
+class ChunkLedger:
+    """Per-owner chunk accounting against optional quotas.
+
+    The multi-tenant cache partition (:mod:`repro.tenancy.partition`)
+    charges every tenant's sample-cache slots here; ``quota == 0`` means
+    unlimited.  Pure bookkeeping — the ledger never touches the pool, so
+    it adds nothing to the single-tenant fast path.
+    """
+
+    def __init__(self) -> None:
+        self._charged: dict[str, int] = {}
+        self._quota: dict[str, int] = {}
+
+    def set_quota(self, owner: str, chunks: int) -> None:
+        if chunks < 0:
+            raise ConfigError(f"quota for {owner!r} must be >= 0")
+        self._quota[owner] = chunks
+
+    def quota(self, owner: str) -> int:
+        """Chunk quota for ``owner`` (0 = unlimited)."""
+        return self._quota.get(owner, 0)
+
+    def used(self, owner: str) -> int:
+        return self._charged.get(owner, 0)
+
+    def charge(self, owner: str, chunks: int) -> None:
+        self._charged[owner] = self._charged.get(owner, 0) + chunks
+
+    def uncharge(self, owner: str, chunks: int) -> None:
+        held = self._charged.get(owner, 0)
+        if chunks > held:
+            raise AllocationError(
+                f"ledger uncharge of {chunks} chunks exceeds {owner!r}'s {held}"
+            )
+        self._charged[owner] = held - chunks
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        owners = sorted({*self._charged, *self._quota})
+        return {
+            o: {"used": self.used(o), "quota": self.quota(o)} for o in owners
+        }
+
+    def __repr__(self) -> str:
+        return f"<ChunkLedger owners={len(self._charged)}>"
 
 
 class HugePageChunk:

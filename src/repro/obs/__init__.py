@@ -38,6 +38,7 @@ from .export import (
     percentile_rows,
     render_breakdown,
     render_percentiles,
+    render_tenants,
     write_chrome_trace,
     write_metrics,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "render_breakdown",
     "percentile_rows",
     "render_percentiles",
+    "render_tenants",
 ]
 
 

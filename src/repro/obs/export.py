@@ -32,6 +32,7 @@ __all__ = [
     "render_breakdown",
     "percentile_rows",
     "render_percentiles",
+    "render_tenants",
 ]
 
 #: Seconds -> Chrome trace microseconds.
@@ -178,6 +179,51 @@ def render_breakdown(
     lines.append(
         f"  {'total (sim time)':<{width}}  {total * 1e3:>12.4f} ms  {1:>7.2%}"
     )
+    return "\n".join(lines)
+
+
+def render_tenants(
+    rows: Iterable[dict],
+    title: str = "per-tenant serving report",
+    service_shares: Optional[dict] = None,
+) -> str:
+    """Plaintext per-tenant SLO/fairness table.
+
+    ``rows`` are the plain dicts from
+    :meth:`repro.tenancy.TenantAccounting.rows` (kept as dicts so obs
+    never imports tenancy).  ``service_shares`` optionally adds the
+    device-service share column from the scheduler — the SFQ fairness
+    metric, as opposed to the job-level byte share in ``rows``.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"-- {title}: (no tenants) --"
+
+    def ms(v: float) -> str:
+        return f"{v * 1e3:.2f}ms"
+
+    width = max(len("tenant"), max(len(r["tenant"]) for r in rows))
+    header = (
+        f"  {'tenant':<{width}}  {'wt':>5}  {'pri':>3}  {'jobs':>7}  "
+        f"{'rej':>5}  {'samples':>8}  {'failed':>6}  {'MB':>9}  "
+        f"{'share':>6}  {'p50':>9}  {'p99':>9}  {'slo!':>5}"
+    )
+    if service_shares is not None:
+        header += f"  {'svc%':>6}"
+    lines = [f"-- {title} --", header]
+    for r in rows:
+        line = (
+            f"  {r['tenant']:<{width}}  {r['weight']:>5.1f}  "
+            f"{r['priority']:>3}  {r['jobs']:>7}  {r['rejected']:>5}  "
+            f"{r['samples']:>8}  {r['failed']:>6}  "
+            f"{r['bytes'] / 1e6:>9.2f}  {r['share']:>6.1%}  "
+            f"{ms(r['p50']):>9}  {ms(r['p99']):>9}  "
+            f"{r['slo_violations']:>5}"
+        )
+        if service_shares is not None:
+            svc = service_shares.get(r["tenant"])
+            line += f"  {svc:>6.1%}" if svc is not None else f"  {'-':>6}"
+        lines.append(line)
     return "\n".join(lines)
 
 

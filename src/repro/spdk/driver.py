@@ -87,7 +87,11 @@ class SPDKDriver:
             inflight += qp.inflight
             if qp.latency.count:
                 latency_sum += qp.latency.mean * qp.latency.count
-        return {
+        by_tenant: dict[str, int] = {}
+        for qp in self.qpairs:
+            for tenant, n in qp.posted_by_tenant.items():
+                by_tenant[tenant] = by_tenant.get(tenant, 0) + n
+        out: dict[str, Union[int, float, dict]] = {
             "qpairs": len(self.qpairs),
             "posted": posted,
             "completed": completed,
@@ -96,6 +100,9 @@ class SPDKDriver:
             "stale_drops": stale,
             "mean_latency": latency_sum / completed if completed else 0.0,
         }
+        if by_tenant:
+            out["posted_by_tenant"] = {t: by_tenant[t] for t in sorted(by_tenant)}
+        return out
 
     def __repr__(self) -> str:
         return f"<SPDKDriver on {self.node.name!r} qpairs={len(self.qpairs)}>"

@@ -19,7 +19,7 @@ from functools import partial
 from typing import Any, Generator, Optional, Union
 
 from ..errors import ConfigError, QPairResetError, QueueFullError
-from ..hw import NVMeDevice, STATUS_ABORTED_RESET, STATUS_OK
+from ..hw import NVMeDevice, STATUS_ABORTED_RESET, STATUS_MEDIA_ERROR, STATUS_OK
 from ..obs import NULL_METRICS, NULL_TRACER
 from ..sim import Environment, Event, Store, Tally
 from ..sim.engine import audit_register, fastpath_enabled
@@ -65,6 +65,13 @@ class IOQPair:
         self.posted = 0
         self.completed = 0
         self.resets = 0
+        #: Multi-tenant serving: posts per tenant (untagged posts are
+        #: not tracked) — rolled up by SPDKDriver.stats().
+        self.posted_by_tenant: dict[str, int] = {}
+        #: Tenant-keyed fault injection (:attr:`FaultPlan.tenant_faults`):
+        #: installed by DLFSClient when the plan targets tenants; draws
+        #: one extra media-error roll per delivered completion.
+        self.injector = None
         #: Device completions dropped because a reset made them stale
         #: (generation mismatch) — audited by the SimSanitizer.
         self.stale_drops = 0
@@ -135,10 +142,14 @@ class IOQPair:
                 attempt=request.attempts,
             )
         self._live[request] = self._generation
+        tenant = getattr(request.tag, "tenant", None)
+        if tenant is not None:
+            self.posted_by_tenant[tenant] = self.posted_by_tenant.get(tenant, 0) + 1
         if (
             self._fastpath
             and not self.is_remote
             and self.target.injector is None
+            and self.injector is None
         ):
             # Local healthy flight: submit now and deliver from the
             # device's completion callback.  The process path submits at
@@ -211,6 +222,13 @@ class IOQPair:
         self, request: SPDKRequest, generation: int, status: str
     ) -> None:
         """Record a non-stale completion and hand it to the sink."""
+        if status == STATUS_OK and self.injector is not None:
+            # Tenant-keyed chaos: a targeted tenant's span may fail at
+            # delivery even though the device read was healthy.
+            if self.injector.tenant_fault(
+                getattr(request.tag, "tenant", None), self.env.now
+            ):
+                status = STATUS_MEDIA_ERROR
         request.status = status
         request.complete_time = self.env.now
         if status == STATUS_OK:

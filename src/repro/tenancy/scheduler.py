@@ -1,0 +1,361 @@
+"""Weighted-fair I/O scheduling for multi-tenant serving.
+
+The :class:`FairScheduler` arbitrates the reactor's two per-shard queues
+— ready fetches (``_rpq``) and disassembled NVMe parts (``_postq``) —
+by tenant weight using start-time fair queueing (SFQ):
+
+* each shard keeps a virtual time ``v``;
+* a fetch enqueued by tenant *t* gets start tag ``S = max(v, finish[t])``
+  and finish tag ``F = S + nbytes / weight[t]``; ``finish[t] = F``;
+* the scheduler serves the smallest start tag, and advances ``v`` to it.
+
+Parts inherit the start tag of their parent fetch (the fetch was charged
+once, at fetch granularity).  Retried or reset-requeued parts re-enter
+through the part lane and are charged *again* at part granularity — a
+tenant whose injected faults force retries pays for those retries out of
+its own share, which is the fault-isolation property.
+
+Priority classes sit in front of the SFQ order: a lower ``priority``
+number is served first.  To bound starvation, whenever the overall SFQ
+leader (smallest start tag) is passed over for a higher-priority entry
+its bypass counter is bumped; after ``max_bypass`` bypasses the leader
+is served regardless of class.  Preemption only ever reorders *queued*
+work — requests already posted to a qpair are never recalled.
+
+All tie-breaks are on ``(priority, start, tenant name, seq)`` where
+``seq`` is a global enqueue counter, so the service order never depends
+on dict insertion order across tenants — the property the SimSanitizer
+tiebreak sweep checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["TenantSpec", "FairScheduler"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static per-tenant serving policy (weights, quotas, rate limits)."""
+
+    name: str
+    #: Relative bandwidth weight for fair queueing.
+    weight: float = 1.0
+    #: Priority class; lower is served first (with bounded bypass).
+    priority: int = 1
+    #: Token-bucket admission rate in samples/second (0 = unlimited).
+    rate: float = 0.0
+    #: Token-bucket depth in samples.
+    burst: float = 64.0
+    #: Max jobs parked awaiting tokens before rejection.
+    max_queued_jobs: int = 64
+    #: Fraction of the hugepage sample cache this tenant may hold
+    #: (0 = unlimited).
+    cache_share: float = 0.0
+    #: Fraction of each qpair's depth this tenant may occupy in flight.
+    qpair_share: float = 1.0
+    #: Per-job latency SLO in seconds (0 = no SLO tracking).
+    slo_latency: float = 0.0
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ConfigError(f"tenant {self.name!r}: weight must be > 0")
+        if self.rate < 0:
+            raise ConfigError(f"tenant {self.name!r}: rate must be >= 0")
+        if self.burst <= 0:
+            raise ConfigError(f"tenant {self.name!r}: burst must be > 0")
+        if self.max_queued_jobs < 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: max_queued_jobs must be >= 0"
+            )
+        if not 0.0 <= self.cache_share <= 1.0:
+            raise ConfigError(
+                f"tenant {self.name!r}: cache_share must be in [0, 1]"
+            )
+        if not 0.0 < self.qpair_share <= 1.0:
+            raise ConfigError(
+                f"tenant {self.name!r}: qpair_share must be in (0, 1]"
+            )
+        if self.slo_latency < 0:
+            raise ConfigError(f"tenant {self.name!r}: slo_latency must be >= 0")
+
+
+#: Tenant name used for work with no tenant tag (e.g. direct submits).
+UNTAGGED = "_untagged"
+
+
+class _TenantState:
+    __slots__ = ("spec", "inv_weight", "finish", "inflight", "cap")
+
+    def __init__(self, spec: TenantSpec, queue_depth: int) -> None:
+        self.spec = spec
+        self.inv_weight = 1.0 / spec.weight
+        #: Per-shard SFQ finish tag of the last charged request.
+        self.finish: dict[int, float] = {}
+        #: Per-shard requests currently posted to the qpair.
+        self.inflight: dict[int, int] = {}
+        self.cap = max(1, int(queue_depth * spec.qpair_share))
+
+
+class _Entry:
+    """One queued fetch or part with its SFQ tags."""
+
+    __slots__ = ("item", "tenant", "priority", "start", "seq", "bypassed")
+
+    def __init__(
+        self, item: object, tenant: str, priority: int, start: float, seq: int
+    ) -> None:
+        self.item = item
+        self.tenant = tenant
+        self.priority = priority
+        self.start = start
+        self.seq = seq
+        self.bypassed = 0
+
+
+class _Lane:
+    """Deque-compatible facade over one scheduler queue.
+
+    The reactor's retry/reset/drain paths only use ``append``,
+    ``popleft``, truthiness and ``len`` on its ``_rpq``/``_postq``
+    deques; this facade keeps those paths working verbatim while
+    routing enqueues through SFQ charging.  ``popleft`` pops in strict
+    enqueue order (used only by ``_drain_on_stop``, where fairness no
+    longer matters and determinism does).
+    """
+
+    __slots__ = ("_sched", "_shard", "_kind")
+
+    def __init__(self, sched: "FairScheduler", shard: int, kind: str) -> None:
+        self._sched = sched
+        self._shard = shard
+        self._kind = kind
+
+    def _entries(self) -> list[_Entry]:
+        if self._kind == "fetch":
+            return self._sched._fetchq[self._shard]
+        return self._sched._partq[self._shard]
+
+    def append(self, item: object) -> None:
+        if self._kind == "fetch":
+            self._sched.enqueue_fetch(self._shard, item)
+        else:
+            self._sched.enqueue_part_charged(self._shard, item)
+
+    def popleft(self) -> object:
+        entries = self._entries()
+        if not entries:
+            raise IndexError("pop from an empty scheduler lane")
+        best = 0
+        for i in range(1, len(entries)):
+            if entries[i].seq < entries[best].seq:
+                best = i
+        return entries.pop(best).item
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __bool__(self) -> bool:
+        return bool(self._entries())
+
+
+class FairScheduler:
+    """SFQ + priority arbitration over the reactor's per-shard queues."""
+
+    def __init__(
+        self,
+        specs: tuple,
+        queue_depth: int,
+        max_bypass: int = 8,
+    ) -> None:
+        if max_bypass < 1:
+            raise ConfigError("max_bypass must be >= 1")
+        self.queue_depth = queue_depth
+        self.max_bypass = max_bypass
+        self.states: dict[str, _TenantState] = {}
+        for spec in specs:
+            spec.validate()
+            if spec.name in self.states:
+                raise ConfigError(f"duplicate tenant {spec.name!r}")
+            self.states[spec.name] = _TenantState(spec, queue_depth)
+        #: Per-shard virtual time.
+        self._vtime: dict[int, float] = {}
+        self._fetchq: dict[int, list[_Entry]] = {}
+        self._partq: dict[int, list[_Entry]] = {}
+        self._seq = 0
+        #: Optional quota gate: callable(tenant, fetch) -> bool.
+        self.fetch_gate: Optional[Callable[[str, object], bool]] = None
+        # Counters surfaced through tenancy accounting.
+        self.preemptions = 0
+        self.forced_serves = 0
+        #: Device-service bytes per tenant, counted when a part is taken
+        #: for posting.  This is the honest SFQ fairness metric: job-level
+        #: byte accounting over-credits backlogged tenants whose jobs hit
+        #: already-pending fetches (dedup), but every device byte passes
+        #: through exactly one part take.
+        self.bytes_served: dict[str, int] = {}
+
+    # -- wiring ---------------------------------------------------------------
+    def attach(self, reactor: object) -> None:
+        """Replace the reactor's deques with scheduler lanes."""
+        for shard in reactor.qpairs:
+            self._vtime[shard] = 0.0
+            self._fetchq[shard] = []
+            self._partq[shard] = []
+            reactor._rpq[shard] = _Lane(self, shard, "fetch")
+            reactor._postq[shard] = _Lane(self, shard, "part")
+
+    def _state(self, tenant: Optional[str]) -> _TenantState:
+        name = tenant if tenant is not None else UNTAGGED
+        state = self.states.get(name)
+        if state is None:
+            state = _TenantState(TenantSpec(name=name), self.queue_depth)
+            self.states[name] = state
+        return state
+
+    def _tag(self, state: _TenantState, shard: int, nbytes: int) -> float:
+        v = self._vtime.setdefault(shard, 0.0)
+        start = max(v, state.finish.get(shard, 0.0))
+        state.finish[shard] = start + nbytes * state.inv_weight
+        return start
+
+    # -- enqueue --------------------------------------------------------------
+    def enqueue_fetch(self, shard: int, fetch: object) -> None:
+        """Charge a whole fetch and queue it for promotion."""
+        state = self._state(getattr(fetch, "tenant", None))
+        start = self._tag(state, shard, fetch.nbytes)
+        self._seq += 1
+        self._fetchq.setdefault(shard, []).append(
+            _Entry(fetch, state.spec.name, state.spec.priority, start, self._seq)
+        )
+
+    def enqueue_part_inherit(self, shard: int, req: object, start: float) -> None:
+        """Queue a part of a just-promoted fetch under the fetch's tag."""
+        fetch = req.tag
+        state = self._state(getattr(fetch, "tenant", None))
+        self._seq += 1
+        self._partq.setdefault(shard, []).append(
+            _Entry(req, state.spec.name, state.spec.priority, start, self._seq)
+        )
+
+    def enqueue_part_charged(self, shard: int, req: object) -> None:
+        """Queue a retried/reset part, charging it at part granularity.
+
+        This is the fault-isolation rule: a tenant whose faults force
+        retries buys that extra device time out of its own SFQ share.
+        """
+        fetch = req.tag
+        state = self._state(getattr(fetch, "tenant", None))
+        start = self._tag(state, shard, req.nbytes)
+        self._seq += 1
+        self._partq.setdefault(shard, []).append(
+            _Entry(req, state.spec.name, state.spec.priority, start, self._seq)
+        )
+
+    # -- selection ------------------------------------------------------------
+    def _select(self, entries: list[_Entry]) -> Optional[_Entry]:
+        """Pick the next entry among eligible ones (peek; no removal).
+
+        ``best`` is the (priority, start, tenant, seq) minimum; ``leader``
+        the pure SFQ (start, tenant, seq) minimum.  Passing over the
+        leader bumps its bypass counter; at ``max_bypass`` it wins anyway.
+        """
+        best: Optional[_Entry] = None
+        leader: Optional[_Entry] = None
+        for e in entries:
+            if best is None or (
+                (e.priority, e.start, e.tenant, e.seq)
+                < (best.priority, best.start, best.tenant, best.seq)
+            ):
+                best = e
+            if leader is None or (
+                (e.start, e.tenant, e.seq) < (leader.start, leader.tenant, leader.seq)
+            ):
+                leader = e
+        if best is None or leader is None:
+            return None
+        if leader is not best:
+            self.preemptions += 1
+            leader.bypassed += 1
+            if leader.bypassed >= self.max_bypass:
+                self.forced_serves += 1
+                return leader
+        return best
+
+    def _eligible(self, shard: int, entries: list[_Entry]) -> list[_Entry]:
+        out = []
+        for e in entries:
+            state = self.states[e.tenant]
+            if state.inflight.get(shard, 0) < state.cap:
+                out.append(e)
+        return out
+
+    def select_part(self, shard: int) -> Optional[_Entry]:
+        entries = self._partq.get(shard)
+        if not entries:
+            return None
+        return self._select(self._eligible(shard, entries))
+
+    def select_fetch(self, shard: int) -> Optional[_Entry]:
+        entries = self._fetchq.get(shard)
+        if not entries:
+            return None
+        eligible = self._eligible(shard, entries)
+        if self.fetch_gate is not None:
+            eligible = [
+                e for e in eligible if self.fetch_gate(e.tenant, e.item)
+            ]
+        return self._select(eligible)
+
+    def take(self, shard: int, entry: _Entry, kind: str) -> object:
+        """Commit a peeked selection: remove it and advance virtual time."""
+        entries = self._fetchq[shard] if kind == "fetch" else self._partq[shard]
+        entries.remove(entry)
+        v = self._vtime.setdefault(shard, 0.0)
+        if entry.start > v:
+            self._vtime[shard] = entry.start
+        if kind == "part":
+            self.bytes_served[entry.tenant] = (
+                self.bytes_served.get(entry.tenant, 0) + entry.item.nbytes
+            )
+        return entry.item
+
+    def service_shares(self) -> dict[str, float]:
+        """Fraction of device-service bytes each tenant has received."""
+        total = sum(self.bytes_served.values())
+        if total == 0:
+            return {}
+        return {
+            t: self.bytes_served[t] / total for t in sorted(self.bytes_served)
+        }
+
+    # -- in-flight tracking ---------------------------------------------------
+    def on_posted(self, tenant: Optional[str], shard: int) -> None:
+        state = self._state(tenant)
+        state.inflight[shard] = state.inflight.get(shard, 0) + 1
+
+    def on_complete(self, tenant: Optional[str], shard: int) -> None:
+        state = self._state(tenant)
+        held = state.inflight.get(shard, 0)
+        if held > 0:
+            state.inflight[shard] = held - 1
+
+    # -- introspection --------------------------------------------------------
+    def queued(self, shard: Optional[int] = None) -> int:
+        shards = [shard] if shard is not None else list(self._fetchq)
+        total = 0
+        for s in shards:
+            total += len(self._fetchq.get(s, ())) + len(self._partq.get(s, ()))
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<FairScheduler tenants={len(self.states)} "
+            f"queued={self.queued()}>"
+        )

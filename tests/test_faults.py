@@ -77,6 +77,21 @@ class TestFaultPlan:
             parse_fault_plan("bogus_field=1")
         with pytest.raises(ConfigError):
             parse_fault_plan("media")
+        # Unparsable numbers surface as ConfigError (the CLI contract is a
+        # one-line "error: --fault-plan: ..." + exit 2), never a bare
+        # ValueError traceback.
+        with pytest.raises(ConfigError):
+            parse_fault_plan("media=bad")
+        with pytest.raises(ConfigError):
+            parse_fault_plan("tenant.alice=lots")
+        with pytest.raises(ConfigError):
+            parse_fault_plan("tenant.=0.1")
+
+    def test_parse_tenant_faults(self):
+        plan = parse_fault_plan("media=0.01,tenant.alice=0.02,tenant.bob=0.3")
+        assert plan.tenant_faults == (("alice", 0.02), ("bob", 0.3))
+        plan = parse_fault_plan('{"tenant_faults": {"alice": 0.02}}')
+        assert plan.tenant_faults == (("alice", 0.02),)
 
 
 class TestRecoveryPolicy:
