@@ -79,13 +79,18 @@ def default_workloads(quick: bool = False) -> Dict[str, Callable[[], Any]]:
     datapath coverage (client → reactor → qpair → device → fabric) is
     the same.  The tenancy workload routes through the multi-tenant
     splice — admission, SFQ lanes, cache partition — so the fast-path
-    kernel is also proven invisible to the fair-queued datapath.
+    kernel is also proven invisible to the fair-queued datapath.  The
+    cluster workload drives the replicated serving tier through a full
+    crash/failover/rejoin cycle, proving the fast-path kernel invisible
+    to lane teardown, re-routing, and the handoff copy loop too.
     """
-    from ..bench.workloads import dlfs_observed, dlfs_tenancy
+    from ..bench.workloads import dlfs_cluster, dlfs_observed, dlfs_tenancy
 
     samples = 256 if quick else 1024
     nodes = 2 if quick else 4
     horizon = 0.02 if quick else 0.05
+    cluster_nodes = 4 if quick else 8
+    cluster_samples = 2048 if quick else 8192
     return {
         "fig06_single_node": lambda: dlfs_observed(
             samples=samples, batch=32, mode="chunk", num_nodes=1,
@@ -97,6 +102,11 @@ def default_workloads(quick: bool = False) -> Dict[str, Callable[[], Any]]:
         ),
         "tenancy_multi_tenant": lambda: dlfs_tenancy(
             horizon=horizon, warmup=horizon / 5, metrics=True,
+        ),
+        "cluster_crash_rejoin": lambda: dlfs_cluster(
+            num_storage=cluster_nodes, num_clients=1, replicas=2,
+            num_samples=cluster_samples, horizon=0.01,
+            node_crashes=((1, 0.004, 0.008),), metrics=True,
         ),
     }
 

@@ -106,6 +106,16 @@ RULES: Tuple[Rule, ...] = (
             "stays a single attribute check"
         ),
     ),
+    Rule(
+        id="SL110",
+        name="blocking-wait",
+        summary="blocking wall-clock wait (time.sleep & friends) in sim code",
+        hint=(
+            "blocking the process stalls the whole event loop and couples "
+            "results to host timing; wait in sim time with "
+            "`yield env.timeout(delay)` instead"
+        ),
+    ),
 )
 
 RULES_BY_ID = {r.id: r for r in RULES}

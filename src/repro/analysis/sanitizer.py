@@ -44,6 +44,7 @@ __all__ = [
     "perturbed_tiebreaks",
     "run_sanitizer",
     "default_workload",
+    "cluster_crash_workload",
 ]
 
 
@@ -205,6 +206,39 @@ def default_workload() -> Any:
         samples=512, batch=32, mode="chunk", num_nodes=1,
         trace=False, metrics=False,
     )
+
+
+def cluster_crash_workload() -> Dict[str, Any]:
+    """The replicated-serving sweep target: crash during handoff.
+
+    A node crashes under live traffic and rejoins while the shard
+    handoff copy is still in flight, so the abort-the-graft race, the
+    per-fetch failover path, and the qpair teardown/rejoin lifecycle
+    all run under perturbed tiebreaks.  Returns a plain dict witness
+    including the lifecycle counters — a tiebreak-dependent failover or
+    handoff would diverge there even if the delivered samples happen to
+    match.
+    """
+    from ..bench.workloads import dlfs_cluster
+
+    report = dlfs_cluster(
+        num_storage=4, num_clients=1, replicas=2, num_samples=2048,
+        horizon=0.01, node_crashes=((1, 0.004, 0.008),),
+    )
+    witness: Dict[str, Any] = {
+        "sim_time": float(report.sim_time),
+        "samples_sha1": hashlib.sha1(
+            bytes(report.samples_read.tobytes())
+        ).hexdigest(),
+        "samples_n": int(len(report.samples_read)),
+        "delivered": int(report.delivered),
+        "failed": int(report.failed),
+    }
+    for key, value in report.lifecycle.items():
+        witness[f"lifecycle.{key}"] = value
+    for key in ("failovers", "node_down", "node_up"):
+        witness[f"recovery.{key}"] = report.recovery.get(key, 0)
+    return witness
 
 
 def run_sanitizer(

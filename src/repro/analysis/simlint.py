@@ -21,6 +21,9 @@ Scope rules (see :mod:`repro.analysis.rules` for the table):
 * SL109 — ``tracer.start``/``tracer.instant`` on hot paths must sit
   behind ``if <tracer>.enabled:`` so unobserved runs pay one attribute
   check, not a call into the null object.
+* SL110 — blocking waits (``time.sleep``, ``os.wait``, ``select.select``
+  with a timeout, ...) stall the host thread, not simulated time; any
+  retry/backoff loop must wait via ``yield env.timeout(delay)``.
 
 Suppressions are per-line and must carry a reason::
 
@@ -90,6 +93,19 @@ _RNG_CONSTRUCTORS = {
     "numpy.random.PCG64", "numpy.random.PCG64DXSM", "numpy.random.MT19937",
     "numpy.random.Philox", "numpy.random.SFC64",
     "random.Random",
+}
+
+# Blocking wall-clock waits: these park the *host* thread, freezing the
+# event loop (simulated time never advances while they block).  The
+# deterministic replacement for any retry/backoff pause is
+# `yield env.timeout(delay)`.
+_BLOCKING_WAIT = {
+    "time.sleep",
+    "os.wait", "os.waitpid", "os.wait3", "os.wait4",
+    "signal.pause", "signal.sigwait", "signal.sigwaitinfo",
+    "signal.sigtimedwait",
+    "select.select", "select.poll", "select.epoll",
+    "threading.Event.wait", "threading.Condition.wait",
 }
 
 # Tracer methods that sit on per-event hot paths.
@@ -342,7 +358,12 @@ class _Linter(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         resolved = self._resolve(node.func)
 
-        if resolved in _WALL_CLOCK:
+        if resolved in _BLOCKING_WAIT:
+            self._emit(
+                node, "SL110",
+                f"blocking wait {resolved}() stalls the event loop",
+            )
+        elif resolved in _WALL_CLOCK:
             self._emit(node, "SL101", f"call to wall-clock API {resolved}()")
         elif resolved in _ENTROPY:
             self._emit(node, "SL102", f"call to entropy source {resolved}()")

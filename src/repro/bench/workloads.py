@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..cluster import Cluster
+from ..cluster import Cluster, ClusterRuntime, ClusterSpec
 from ..core import DLFS, DLFSConfig
 from ..data import Dataset
 from ..errors import ConfigError
@@ -50,12 +50,15 @@ __all__ = [
     "dlfs_chaos",
     "dlfs_observed",
     "dlfs_tenancy",
+    "dlfs_cluster",
     "demo_tenants",
     "fair_tenants",
+    "cluster_tenants",
     "Result",
     "ChaosResult",
     "TraceReport",
     "TenancyReport",
+    "ClusterReport",
 ]
 
 DEFAULT_SEED = 42
@@ -946,6 +949,252 @@ def dlfs_tenancy(
         service_bytes=deltas,
         preemptions=sched.preemptions,
         forced_serves=sched.forced_serves,
+        obs=fs.obs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Replicated cluster serving driver (crash / rejoin / hedged reads)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """One replicated-cluster serving run (:func:`dlfs_cluster`)."""
+
+    #: Delivered samples per simulated second (over the full run).
+    sample_throughput: float
+    #: Samples delivered across all clients and tenants.
+    delivered: int
+    #: Samples lost to unrecoverable faults (zero in every healthy and
+    #: single-crash R>=2 configuration — the failover gate).
+    failed: int
+    #: Jobs completed across all traffic engines.
+    jobs: int
+    #: Final simulated time (arrival horizon + drain + teardown).
+    sim_time: float
+    #: Every completed job's sample indices in (client, tenant, job-key)
+    #: order — the determinism witness (completion-order independent).
+    samples_read: np.ndarray
+    #: Per-tenant accounting rows merged across clients (counts summed,
+    #: percentiles recomputed from the merged completion records).
+    per_tenant: tuple
+    #: Every job completion as ``(t_done, tenant, latency, delivered,
+    #: failed)``, merged over all clients and sorted — the raw material
+    #: for windowed (victim-window) percentiles in the crash benches.
+    records: tuple
+    #: Merged reactor recovery accounting (failovers, hedges_posted,
+    #: hedges_dropped, node_down/up, degraded_time, ...).
+    recovery: dict
+    #: Lifecycle counters (crashes, rejoins, handoffs, rewarms) — empty
+    #: dict when no crash schedule was installed.
+    lifecycle: dict
+    #: Balancer counters merged across clients: per-lane ``routed``
+    #: totals plus ``failovers`` and ``cache_routed``.
+    balancer: dict
+    #: The observability bundle (null objects unless metrics/trace on).
+    obs: object
+
+
+def cluster_tenants(num_samples: int = 8192, rate: float = 3000.0) -> tuple:
+    """The reference cluster serving mix: ``(specs, workloads)``.
+
+    One closed-loop training tenant (backlogged, throughput-oriented)
+    plus one open-loop Poisson inference tenant with a tight SLO — the
+    mix every cluster bench, the ``cluster`` CLI, and the perfcheck /
+    sanitizer scenarios share.  Sample ranges are disjoint halves so
+    the two tenants exercise different shards.
+    """
+    from ..tenancy import TenantSpec, TenantWorkload
+
+    half = num_samples // 2
+    specs = (
+        TenantSpec(name="train", weight=2.0, slo_latency=5e-3),
+        TenantSpec(name="serve", weight=1.0, slo_latency=2e-3),
+    )
+    workloads = (
+        TenantWorkload(
+            name="train", kind="train", batch=16, concurrency=4,
+            sample_lo=0, sample_hi=half,
+        ),
+        TenantWorkload(
+            name="serve", kind="poisson", rate=rate, batch=8,
+            sample_lo=half, sample_hi=num_samples,
+        ),
+    )
+    return specs, workloads
+
+
+def _merge_tenant_rows(runtimes: list, records: tuple) -> tuple:
+    """Merge per-client accounting rows by tenant name.
+
+    Counts sum exactly; latency percentiles are recomputed from the
+    merged completion records (per-client histograms can't be merged).
+    """
+    by_latency: dict = {}
+    for _t, tenant, latency, _ok, _fail in records:
+        by_latency.setdefault(tenant, []).append(latency)
+    merged: dict = {}
+    for rt in runtimes:
+        for row in rt.accounting.rows():
+            name = row["tenant"]
+            if name not in merged:
+                merged[name] = dict(row)
+            else:
+                m = merged[name]
+                for key in (
+                    "jobs", "rejected", "samples", "failed", "bytes",
+                    "slo_violations",
+                ):
+                    if key in row:
+                        m[key] = m.get(key, 0) + row[key]
+    total_bytes = sum(m.get("bytes", 0) for m in merged.values())
+    for name, m in merged.items():
+        m["share"] = m.get("bytes", 0) / total_bytes if total_bytes else 0.0
+        lats = sorted(by_latency.get(name, ()))
+        if lats:
+            m["p50"] = lats[int(0.50 * (len(lats) - 1))]
+            m["p99"] = lats[int(0.99 * (len(lats) - 1))]
+    return tuple(merged[name] for name in sorted(merged))
+
+
+def dlfs_cluster(
+    num_storage: int = 8,
+    num_clients: int = 2,
+    replicas: int = 2,
+    num_samples: int = 8192,
+    sample_bytes: int = 64 * 1024,
+    horizon: float = 0.02,
+    seed: int = DEFAULT_SEED,
+    node_crashes: tuple = (),
+    hedge_delay: float = 0.0,
+    read_cache_chunks: int = 0,
+    balancer: bool = True,
+    queue_depth: int = 32,
+    specs: Optional[tuple] = None,
+    workloads: Optional[tuple] = None,
+    metrics: bool = False,
+    trace: bool = False,
+) -> ClusterReport:
+    """One replicated cluster serving run under live traffic.
+
+    ``num_clients`` compute nodes front ``num_storage`` single-device
+    storage nodes (the Fig 11 disaggregated topology), each shard
+    placed on ``replicas`` nodes via rendezvous hashing.  Every client
+    runs its own front-end balancer and traffic engine (per-client seed
+    offsets keep arrival scripts distinct but deterministic).
+
+    ``node_crashes`` entries are ``(lane, crash_time, rejoin_time)``
+    with ``rejoin_time=None`` for a permanent loss.  With ``replicas >=
+    2`` a single crash loses zero samples: queued work fails over to
+    surviving replicas and the drain completes; with ``replicas == 1``
+    and no rejoin the drain would wedge on parked fetches, so permanent
+    single-replica crashes are rejected by :class:`FaultPlan`
+    validation upstream.
+    """
+    from ..tenancy import TrafficEngine
+
+    if (specs is None) != (workloads is None):
+        raise ConfigError("pass both specs and workloads, or neither")
+    if specs is None:
+        specs, workloads = cluster_tenants(num_samples)
+    env = Environment()
+    cluster = Cluster(
+        env,
+        Testbed.paper_emulated(),
+        num_nodes=num_clients + num_storage,
+        devices_per_node=0,
+    )
+    placement = []
+    for d in range(num_storage):
+        storage = cluster.node(num_clients + d)
+        storage.add_device()
+        placement.append((storage.index, 0))
+    ds = _dataset(num_samples, sample_bytes)
+    plan = FaultPlan(node_crashes=tuple(node_crashes)) if node_crashes else None
+    config = DLFSConfig(
+        batching="sample",
+        queue_depth=queue_depth,
+        cluster=ClusterSpec(
+            replicas=replicas,
+            balancer=balancer,
+            hedge_delay=hedge_delay,
+            read_cache_chunks=read_cache_chunks,
+        ),
+        fault_plan=plan,
+        trace=trace,
+        metrics=metrics,
+    )
+    fs = DLFS.mount(cluster, ds, config, placement=placement)
+    clients = [
+        fs.client(rank=r, num_ranks=num_clients, node=cluster.node(r))
+        for r in range(num_clients)
+    ]
+    runtimes = []
+    engines = []
+    procs = []
+    for r, client in enumerate(clients):
+        runtime = ClusterRuntime(env, client.reactor, specs)
+        engine = TrafficEngine(
+            env, runtime, ds, tuple(workloads),
+            seed=seed + 1000 * r, horizon=horizon,
+        )
+        runtimes.append(runtime)
+        engines.append(engine)
+        procs.extend(engine.start())
+    env.run(until=env.all_of(procs))
+    for r, engine in enumerate(engines):
+        env.run(until=env.process(engine.drain(), name=f"cluster.drain[{r}]"))
+
+    def teardown(env, client):
+        yield from client.shutdown()
+
+    for r, client in enumerate(clients):
+        env.run(
+            until=env.process(
+                teardown(env, client), name=f"cluster.teardown[{r}]"
+            )
+        )
+    env.run()  # drain trailing timers (rejoin schedules, watchdogs)
+
+    records = tuple(sorted(rec for rt in runtimes for rec in rt.records))
+    recovery: dict = {}
+    for client in clients:
+        for key, value in client.reactor.recovery_stats.as_dict().items():
+            recovery[key] = recovery.get(key, 0) + value
+    routed: dict = {}
+    failovers = 0
+    cache_routed = 0
+    for client in clients:
+        fe = client.balancer
+        if fe is None:
+            continue
+        for lane, count in fe.routed.items():
+            routed[lane] = routed.get(lane, 0) + count
+        failovers += fe.failovers
+        cache_routed += fe.cache_routed
+    witness_parts = [e.samples_read() for e in engines]
+    witness = (
+        np.concatenate(witness_parts)
+        if witness_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    delivered = sum(e.delivered for e in engines)
+    return ClusterReport(
+        sample_throughput=delivered / env.now if env.now > 0 else 0.0,
+        delivered=delivered,
+        failed=sum(e.failed for e in engines),
+        jobs=sum(e.jobs_completed for e in engines),
+        sim_time=env.now,
+        samples_read=witness,
+        per_tenant=_merge_tenant_rows(runtimes, records),
+        records=records,
+        recovery=recovery,
+        lifecycle=fs.lifecycle.counters() if fs.lifecycle is not None else {},
+        balancer={
+            "routed": routed,
+            "failovers": failovers,
+            "cache_routed": cache_routed,
+        },
         obs=fs.obs,
     )
 

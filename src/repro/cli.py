@@ -43,6 +43,15 @@ bit-identical (exit 1 on divergence)::
 
     python -m repro perfcheck
     python -m repro perfcheck --quick --out results/perfcheck.json
+
+``cluster`` runs the replicated serving tier — rendezvous-hashed
+replica placement, the cache-aware front-end balancer, and the full
+node crash/failover/rejoin lifecycle — under live multi-tenant
+traffic, and prints per-lane routing plus recovery/lifecycle counters::
+
+    python -m repro cluster
+    python -m repro cluster --crash 1=0.004:0.012 --replicas 2
+    python -m repro cluster --quick --crash 1=0.004:0.008 --out results/cluster.json
 """
 
 from __future__ import annotations
@@ -81,6 +90,24 @@ def _run_figure(name: str, scale: float):
     if name in _UNSCALED:
         return fn()
     return fn(scale=scale)
+
+
+def _parse_crash(spec: str) -> tuple:
+    """Parse a ``LANE=T1[:T2]`` crash spec into a node_crashes tuple."""
+    lane_s, sep, times = spec.partition("=")
+    if not sep:
+        raise ValueError(f"{spec!r}: expected LANE=T1[:T2]")
+    try:
+        lane = int(lane_s)
+    except ValueError:
+        raise ValueError(f"{spec!r}: lane must be an integer") from None
+    t1_s, sep, t2_s = times.partition(":")
+    try:
+        t1 = float(t1_s)
+        t2 = float(t2_s) if sep else None
+    except ValueError:
+        raise ValueError(f"{spec!r}: times must be numbers") from None
+    return (lane, t1, t2)
 
 
 def _emit(result, out_dir: pathlib.Path | None, headline_only: bool) -> None:
@@ -196,6 +223,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="perturbed tiebreak seeds to sweep (default 5)")
     p_san.add_argument("--seed", type=int, default=2019,
                        help="base perturbation seed (default 2019)")
+    p_san.add_argument(
+        "--scenario", choices=("default", "cluster", "all"), default="all",
+        help="workload(s) to sweep: the flat datapath smoke, the "
+             "cluster crash-during-handoff scenario, or both (default all)",
+    )
     p_san.add_argument("--out", type=pathlib.Path, default=None,
                        help="write the JSON report here")
 
@@ -208,6 +240,37 @@ def main(argv: list[str] | None = None) -> int:
                         help="smaller workloads (CI smoke)")
     p_perf.add_argument("--out", type=pathlib.Path, default=None,
                         help="write the JSON report here")
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="replicated serving tier demo: rendezvous placement, "
+             "crash/rejoin failover, hedged reads under live traffic",
+    )
+    p_cluster.add_argument("--storage", type=int, default=8,
+                           help="storage nodes in the fleet (default 8)")
+    p_cluster.add_argument("--clients", type=int, default=2,
+                           help="client nodes driving traffic (default 2)")
+    p_cluster.add_argument("--replicas", type=int, default=2,
+                           help="replication factor R (default 2)")
+    p_cluster.add_argument(
+        "--crash", action="append", default=[], metavar="LANE=T1[:T2]",
+        help="seeded node crash: lane index, crash time, optional rejoin "
+             "time (sim seconds); repeatable",
+    )
+    p_cluster.add_argument("--hedge", type=float, default=0.0,
+                           help="hedged-read delay in sim seconds (0 = off)")
+    p_cluster.add_argument("--read-cache", type=int, default=0,
+                           help="per-node read-cache chunks (default 0)")
+    p_cluster.add_argument("--samples", type=int, default=8192,
+                           help="dataset samples (default 8192)")
+    p_cluster.add_argument("--horizon", type=float, default=0.02,
+                           help="arrival window in sim seconds (default 0.02)")
+    p_cluster.add_argument("--seed", type=int, default=42,
+                           help="traffic-engine seed (default 42)")
+    p_cluster.add_argument("--quick", action="store_true",
+                           help="smaller fleet and dataset (CI smoke)")
+    p_cluster.add_argument("--out", type=pathlib.Path, default=None,
+                           help="write a JSON summary here")
 
     args = parser.parse_args(argv)
 
@@ -394,20 +457,38 @@ def main(argv: list[str] | None = None) -> int:
         return 1 if findings else 0
 
     if args.command == "sanitize":
-        from .analysis import run_sanitizer
+        import json
 
-        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
-        report = run_sanitizer(
-            runs=args.runs, base_seed=args.seed,
-            progress=lambda msg: print(f"  .. {msg}", file=sys.stderr),
+        from .analysis import run_sanitizer
+        from .analysis.sanitizer import cluster_crash_workload, default_workload
+
+        scenarios = {
+            "default": default_workload,
+            "cluster": cluster_crash_workload,
+        }
+        selected = (
+            list(scenarios) if args.scenario == "all" else [args.scenario]
         )
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        reports = {}
+        for name in selected:
+            reports[name] = run_sanitizer(
+                workload=scenarios[name],
+                runs=args.runs, base_seed=args.seed,
+                progress=lambda msg, name=name: print(
+                    f"  .. [{name}] {msg}", file=sys.stderr
+                ),
+            )
         if args.out is not None:
             args.out.parent.mkdir(parents=True, exist_ok=True)
-            args.out.write_text(report.to_json() + "\n")
+            blob = {name: r.to_dict() for name, r in reports.items()}
+            args.out.write_text(json.dumps(blob, indent=2, default=str) + "\n")
             print(f"wrote {args.out}")
-        print(report.render())
+        for name, report in reports.items():
+            print(f"== scenario: {name} ==")
+            print(report.render())
         print(f"[sanitize in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
-        return 0 if report.ok else 1
+        return 0 if all(r.ok for r in reports.values()) else 1
 
     if args.command == "perfcheck":
         from .analysis import run_perfcheck
@@ -424,6 +505,74 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render())
         print(f"[perfcheck in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0 if report.ok else 1
+
+    if args.command == "cluster":
+        import json
+
+        from .bench.workloads import dlfs_cluster
+        from .errors import ConfigError
+        from .obs import render_cluster
+
+        try:
+            crashes = tuple(_parse_crash(spec) for spec in args.crash)
+        except ValueError as exc:
+            print(f"error: --crash: {exc}", file=sys.stderr)
+            return 2
+        storage = 4 if args.quick else args.storage
+        clients = 1 if args.quick else args.clients
+        samples = 2048 if args.quick else args.samples
+        horizon = 0.01 if args.quick else args.horizon
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        try:
+            r = dlfs_cluster(
+                num_storage=storage, num_clients=clients,
+                replicas=args.replicas, num_samples=samples,
+                horizon=horizon, seed=args.seed, node_crashes=crashes,
+                hedge_delay=args.hedge, read_cache_chunks=args.read_cache,
+            )
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"== cluster: {storage} storage nodes, {clients} client(s), "
+              f"R={args.replicas}, horizon {horizon * 1e3:.0f} ms, "
+              f"seed {args.seed} ==")
+        print(f"throughput        {r.sample_throughput:,.0f} samples/s")
+        print(f"delivered         {r.delivered}")
+        if r.failed:
+            print(f"failed            {r.failed}")
+        print(f"jobs              {r.jobs}")
+        print(f"sim time          {r.sim_time * 1e3:.3f} ms")
+        print()
+        print(render_cluster(
+            r.balancer.get("routed", {}), r.recovery, r.lifecycle,
+        ))
+        if r.per_tenant:
+            from .obs import render_tenants
+
+            print()
+            print(render_tenants(r.per_tenant, title="per-tenant (merged)"))
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            summary = {
+                "storage": storage,
+                "clients": clients,
+                "replicas": args.replicas,
+                "delivered": r.delivered,
+                "failed": r.failed,
+                "jobs": r.jobs,
+                "sim_time": r.sim_time,
+                "sample_throughput": r.sample_throughput,
+                "balancer": r.balancer,
+                "recovery": r.recovery,
+                "lifecycle": r.lifecycle,
+                "per_tenant": list(r.per_tenant),
+            }
+            args.out.write_text(
+                json.dumps(summary, indent=2, default=str) + "\n"
+            )
+            print(f"\nwrote {args.out}")
+        print(f"[cluster in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        return 0
 
     if args.command in ("all", "claims"):
         headline_only = args.command == "claims"

@@ -1,6 +1,33 @@
-"""Cluster substrate: nodes, fabric topology, and MPI-style collectives."""
+"""Cluster substrate: nodes, fabric topology, collectives, and the
+replicated serving tier (consistent-hash placement, front-end
+balancing, node crash/rejoin lifecycle)."""
 
 from .collectives import Communicator
+from .hashring import ShardMap, rendezvous_order
 from .node import Cluster, Node
+from .serving import (
+    ClusterLifecycle,
+    ClusterRuntime,
+    ClusterSpec,
+    ClusterState,
+    FrontEndBalancer,
+    NodeDown,
+    NodeReadCache,
+    NodeUp,
+)
 
-__all__ = ["Cluster", "Node", "Communicator"]
+__all__ = [
+    "Cluster",
+    "Node",
+    "Communicator",
+    "ShardMap",
+    "rendezvous_order",
+    "ClusterSpec",
+    "ClusterState",
+    "FrontEndBalancer",
+    "NodeReadCache",
+    "ClusterLifecycle",
+    "ClusterRuntime",
+    "NodeDown",
+    "NodeUp",
+]

@@ -1,0 +1,112 @@
+"""Consistent-hash replica placement for the cluster serving tier.
+
+Placement uses rendezvous (highest-random-weight) hashing: for each
+shard, every node is scored with ``zlib.crc32(shard|node)`` (stable
+across processes — builtin ``hash`` is not) and the nodes are ranked by
+descending score.  The top R distinct nodes are the replica set; the
+rest of the ranking is the standby succession for shard handoff.  Like
+a vnode ring this is *consistent* — removing a node disturbs only the
+shards that ranked it — but the per-shard rankings are independent
+uniform permutations, so replica load stays balanced even on the small
+fleets these benches run (a crc32 vnode ring at 8 nodes routinely hands
+one node 5 of 8 secondaries; rendezvous caps it at 2).
+
+FanStore (arXiv:1809.10799) distributes packed sample files across
+nodes the same way; the anchor option pins each shard's primary to the
+node whose device the mount staged it on, so the hash only governs the
+secondary replicas and the handoff succession.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["ShardMap", "rendezvous_order"]
+
+
+def rendezvous_order(key: str, nodes: Sequence[int]) -> Tuple[int, ...]:
+    """All nodes ranked by descending rendezvous weight for ``key``.
+
+    Ties (crc32 collisions) break on the node index, keeping the order
+    fully deterministic.
+    """
+    return tuple(
+        sorted(
+            nodes,
+            key=lambda n: (-zlib.crc32(f"{key}|node:{n}".encode()), n),
+        )
+    )
+
+
+class ShardMap:
+    """R-way replica placement of directory shards onto storage nodes."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        nodes: Sequence[int],
+        replicas: int = 2,
+        anchors: Optional[Sequence[int]] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigError("shard map needs at least one shard")
+        if not nodes:
+            raise ConfigError("shard map needs at least one storage node")
+        if len(set(nodes)) != len(nodes):
+            raise ConfigError("shard map nodes must be distinct")
+        if replicas < 1:
+            raise ConfigError(f"replication factor must be >= 1, got {replicas}")
+        if replicas > len(nodes):
+            raise ConfigError(
+                f"replication factor {replicas} exceeds {len(nodes)} storage nodes"
+            )
+        if anchors is not None and len(anchors) != num_shards:
+            raise ConfigError("need one anchor node per shard")
+        self.nodes = tuple(sorted(nodes))
+        self.num_shards = num_shards
+        self.replicas = replicas
+        #: shard -> full node preference order (replicas are the prefix).
+        #: An *anchor* pins a shard's primary (DLFS anchors shard s to
+        #: the node whose device the mount staged it on); the hash then
+        #: orders the secondary replicas and the standby succession.
+        self._order = {}
+        for s in range(num_shards):
+            ranked = rendezvous_order(f"shard:{s}", self.nodes)
+            if anchors is not None:
+                anchor = anchors[s]
+                if anchor not in self.nodes:
+                    raise ConfigError(
+                        f"anchor node {anchor} for shard {s} is not a storage node"
+                    )
+                ranked = (anchor,) + tuple(n for n in ranked if n != anchor)
+            self._order[s] = ranked
+
+    def replicas_of(self, shard: int) -> Tuple[int, ...]:
+        """The R nodes holding ``shard``, primary first."""
+        return self._order[shard][: self.replicas]
+
+    def primary(self, shard: int) -> int:
+        return self._order[shard][0]
+
+    def standby(self, shard: int, exclude: Sequence[int] = ()) -> Optional[int]:
+        """First non-replica node in preference order, for shard handoff."""
+        held = set(self.replicas_of(shard)) | set(exclude)
+        for node in self._order[shard][self.replicas :]:
+            if node not in held:
+                return node
+        return None
+
+    def shards_on(self, node: int) -> Tuple[int, ...]:
+        """Shards replicated on ``node``, ascending."""
+        return tuple(
+            s for s in range(self.num_shards) if node in self.replicas_of(s)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardMap {self.num_shards} shards x{self.replicas} "
+            f"over {len(self.nodes)} nodes>"
+        )

@@ -12,6 +12,7 @@ from typing import Iterator, Optional
 
 from ..errors import ConfigError
 from ..hw import CPU, Fabric, HugePagePool, NVMeDevice, Testbed
+from ..hw.memory import chunk_quotas
 from ..sim import Environment
 
 __all__ = ["Node", "Cluster"]
@@ -51,11 +52,15 @@ class Node:
         """Hugepage-chunk quota for a fractional cache share (>= 1 chunk).
 
         Used by the tenancy partition to turn a per-tenant ``cache_share``
-        into an absolute chunk count against this node's pool.
+        into an absolute chunk count against this node's pool.  For a set
+        of tenants use :meth:`chunk_quotas`, which additionally rejects
+        share sets whose summed quotas oversubscribe the pool.
         """
-        if not 0.0 < share <= 1.0:
-            raise ConfigError(f"cache share must be in (0, 1], got {share}")
-        return max(1, int(self.hugepages.num_chunks * share))
+        return chunk_quotas(self.hugepages.num_chunks, {"_": share})["_"]
+
+    def chunk_quotas(self, shares: dict[str, float]) -> dict[str, int]:
+        """Per-tenant chunk quotas; raises ConfigError on oversubscription."""
+        return chunk_quotas(self.hugepages.num_chunks, shares)
 
     @property
     def device(self) -> NVMeDevice:

@@ -27,7 +27,17 @@ from typing import Any, Generator, Optional, Union
 
 import numpy as np
 
-from ..cluster import Cluster, Communicator, Node
+from ..cluster import (
+    Cluster,
+    ClusterLifecycle,
+    ClusterSpec,
+    ClusterState,
+    Communicator,
+    FrontEndBalancer,
+    Node,
+    NodeReadCache,
+    ShardMap,
+)
 from ..data import Dataset, DatasetLayout, ParallelFS
 from ..errors import ConfigError, InvalidHandle, NotMounted
 from ..faults import FaultInjector, FaultPlan, RecoveryPolicy
@@ -111,6 +121,11 @@ class DLFSConfig:
     #: SFQ leader may be passed over for a higher class before it is
     #: served regardless.
     tenancy_max_bypass: int = 8
+    #: Replicated cluster serving tier (:mod:`repro.cluster`): R-way
+    #: shard placement, front-end balancing, crash/rejoin failover.
+    #: ``None`` — or a flat spec (``replicas=1``, balancer off) — keeps
+    #: single-node construction bit-identical (pay-for-use).
+    cluster: Optional[ClusterSpec] = None
 
     def validate(self) -> None:
         if self.batching not in (BATCH_NONE, BATCH_SAMPLE, BATCH_CHUNK):
@@ -133,6 +148,13 @@ class DLFSConfig:
             if spec.name in seen:
                 raise ConfigError(f"duplicate tenant {spec.name!r}")
             seen.append(spec.name)
+        if self.cluster is not None:
+            self.cluster.validate()
+            if self.tenants and not self.cluster.is_flat:
+                raise ConfigError(
+                    "cluster serving and tenancy SFQ are mutually exclusive "
+                    "(cluster mode accounts tenants via ClusterRuntime)"
+                )
 
 
 @dataclass(eq=False)
@@ -208,6 +230,38 @@ class DLFS:
                     self.env, node.name, node.devices[dev_idx], cluster.fabric
                 )
             )
+        # Replicated cluster serving tier (pay-for-use: a missing or
+        # flat spec builds nothing and keeps the exact single-node
+        # datapath).  Lanes are the shard index space: lane s is the
+        # storage node that staged shard s (its anchored primary), so
+        # replicas=1 placement is identical to flat mode by design.
+        self.cluster_spec: Optional[ClusterSpec] = self.config.cluster
+        self.shard_map: Optional[ShardMap] = None
+        self.cluster_state: Optional[ClusterState] = None
+        self.lifecycle: Optional[ClusterLifecycle] = None
+        cspec = self.cluster_spec
+        if cspec is not None and not cspec.is_flat:
+            nodes_used = [node_idx for node_idx, _ in placement]
+            if len(set(nodes_used)) != len(nodes_used):
+                raise ConfigError(
+                    "cluster serving needs one storage node per shard "
+                    "(placement reuses a node)"
+                )
+            lanes = list(range(len(placement)))
+            self.shard_map = ShardMap(
+                num_shards=len(placement), nodes=lanes,
+                replicas=cspec.replicas, anchors=lanes,
+            )
+            self.cluster_state = ClusterState(self.shard_map, self.layout, cspec)
+            if cspec.read_cache_chunks > 0:
+                for lane, target in enumerate(self.targets):
+                    rc = NodeReadCache(
+                        f"{target.name}.rcache",
+                        cspec.read_cache_chunks,
+                        chunk_bytes,
+                    )
+                    target.read_cache = rc
+                    self.cluster_state.read_caches[lane] = rc
         # Fault injection: one shared injector drives every fault site
         # (devices, fabric, NVMe-oF targets, reactor reset schedules)
         # from one seed.  A zero plan builds nothing, so the healthy
@@ -245,6 +299,30 @@ class DLFS:
             for target in self.targets:
                 target.install_observability(self.obs)
                 self.obs.tracer.set_process(target.name, target.host)
+        # Node crash/rejoin lifecycle: needs the cluster state (to drive
+        # failover) and the injector/obs hooks built above.
+        crashes = () if plan is None else plan.node_crashes
+        if crashes:
+            if self.cluster_state is None:
+                raise ConfigError(
+                    "fault plan schedules node crashes but config.cluster "
+                    "is off (need a ClusterSpec with replicas>1 or the "
+                    "balancer enabled)"
+                )
+            self.lifecycle = ClusterLifecycle(
+                self.env,
+                self.cluster_state,
+                cspec,
+                crashes,
+                targets=dict(enumerate(self.targets)),
+                devices={
+                    lane: self.device_for_shard(lane)
+                    for lane in range(len(placement))
+                },
+                fabric=cluster.fabric,
+                injector=self.injector,
+                tracer=self.obs.tracer,
+            )
         self._clients: list["DLFSClient"] = []
         self._mounted = False
 
@@ -445,6 +523,14 @@ class DLFSClient:
                 for qp in qpairs.values():
                     qp.injector = fs.injector
 
+        # Cluster serving: each client gets its own front-end balancer
+        # view over the shared cluster state (pay-for-use: None off).
+        self.balancer = None
+        if fs.cluster_state is not None:
+            self.balancer = FrontEndBalancer(
+                fs.cluster_state, hedge_delay=fs.cluster_spec.hedge_delay
+            )
+
         thread = BoundThread(node.cpu.core(core_index), f"dlfs.r{rank}.io")
         testbed = fs.cluster.testbed
         self.reactor = Reactor(
@@ -466,8 +552,11 @@ class DLFSClient:
             injector=fs.injector,
             recovery=fs.recovery,
             tenancy=self.tenancy,
+            balancer=self.balancer,
             name=f"dlfs.{node.name}.r{rank}",
         )
+        if fs.lifecycle is not None:
+            fs.lifecycle.register(self.reactor)
         if config.copy_cores:
             cores = [node.cpu.core(i) for i in config.copy_cores]
             pool = CopyPool(self.env, cores, kick=self.reactor._kick)

@@ -31,6 +31,7 @@ from typing import Any, Callable, Generator, Optional
 
 import numpy as np
 
+from ..cluster.serving import NodeDown, NodeUp
 from ..errors import (
     ConfigError,
     MediaError,
@@ -60,6 +61,16 @@ KICK = object()
 
 class _DeadlineCheck:
     """A posted request's deadline timer fired; check if it is stuck."""
+
+    __slots__ = ("req", "attempt")
+
+    def __init__(self, req: SPDKRequest, attempt: int) -> None:
+        self.req = req
+        self.attempt = attempt
+
+
+class _HedgeCheck:
+    """A posted request's hedge timer fired; maybe post a replica twin."""
 
     __slots__ = ("req", "attempt")
 
@@ -138,15 +149,19 @@ class LookupJob:
 class _PendingFetch:
     """One in-flight span: its cache slot, parts, and waiting deliveries."""
 
-    __slots__ = ("key", "shard", "offset", "nbytes", "samples",
+    __slots__ = ("key", "shard", "lane", "offset", "nbytes", "samples",
                  "parts_remaining", "waiters", "posted", "failed", "span",
-                 "tenant")
+                 "tenant", "done_parts", "hedged_parts")
 
     def __init__(self, key, shard: int, offset: int, nbytes: int,
                  samples: np.ndarray, tenant: Optional[str] = None) -> None:
         self.key = key
         self.shard = shard
-        self.offset = offset          # aligned device offset
+        #: Serving lane (storage node) the fetch is routed to.  Equal to
+        #: ``shard`` outside cluster mode; the front-end balancer picks
+        #: it at creation and rewrites it on failover.
+        self.lane = shard
+        self.offset = offset          # aligned layout offset
         self.nbytes = nbytes          # aligned span size
         self.samples = samples        # samples validated on completion
         self.parts_remaining = 0
@@ -160,6 +175,12 @@ class _PendingFetch:
         #: Tenant that first requested the span (charged for it by the
         #: fair scheduler); later cross-tenant waiters share it free.
         self.tenant = tenant
+        #: Cluster mode only (set by the balancer at routing): layout
+        #: offsets of parts already settled — landed or terminally
+        #: failed exactly once; a hedge twin's later completion is
+        #: dropped on membership — and of parts already hedged.
+        self.done_parts: Optional[set] = None
+        self.hedged_parts: Optional[set] = None
 
 
 class CopyPool:
@@ -229,6 +250,7 @@ class Reactor:
         injector: Optional[FaultInjector] = None,
         recovery: Optional[RecoveryPolicy] = None,
         tenancy: Optional[object] = None,
+        balancer: Optional[object] = None,
         name: str = "dlfs.reactor",
     ) -> None:
         self.env = env
@@ -269,6 +291,16 @@ class Reactor:
         self.tenancy = tenancy
         if tenancy is not None:
             tenancy.attach(self)
+        #: Cluster serving tier (pay-for-use: None keeps the single-node
+        #: datapath bit-identical).  A :class:`FrontEndBalancer` routes
+        #: each fetch to a replica lane, fails it over when the lane
+        #: dies, and supplies deadline-driven hedged reads.
+        self.balancer = balancer
+        if balancer is not None and tenancy is not None:
+            raise ConfigError(
+                "cluster balancer and tenancy SFQ lanes are mutually "
+                "exclusive (the balancer arbitrates in cluster mode)"
+            )
         self._pending: dict[object, _PendingFetch] = {}
         self.read_meter = ThroughputMeter(env, name=f"{name}.delivered")
         self.job_latency = Tally(f"{name}.job_latency")
@@ -390,6 +422,12 @@ class Reactor:
             self._reset_qpair(msg.shard, forced=True)
         elif isinstance(msg, _QPairUp):
             self._on_qpair_up(msg.shard)
+        elif isinstance(msg, _HedgeCheck):
+            self._on_hedge(msg)
+        elif isinstance(msg, NodeDown):
+            self._on_node_down(msg.lane)
+        elif isinstance(msg, NodeUp):
+            self._on_node_up(msg.lane)
         elif msg is KICK:
             pass
         elif msg is SHUTDOWN:
@@ -479,7 +517,9 @@ class Reactor:
                         cat="reactor", key=str(key), nbytes=nbytes,
                     )
                 self._pending[key] = fetch
-                self._rpq[result.shard].append(fetch)
+                if self.balancer is not None:
+                    fetch.lane = self.balancer.route(fetch)
+                self._rpq[fetch.lane].append(fetch)
             fetch.waiters.append((job, result.length))
         self._layers.add("prep", cost)
         if cost > 0.0:
@@ -540,7 +580,9 @@ class Reactor:
                 cat="reactor", key=str(key), nbytes=nbytes,
             )
         self._pending[key] = fetch
-        self._rpq[shard].append(fetch)
+        if self.balancer is not None:
+            fetch.lane = self.balancer.route(fetch)
+        self._rpq[fetch.lane].append(fetch)
         return fetch
 
     # -- post stage -------------------------------------------------------------------
@@ -574,6 +616,14 @@ class Reactor:
                         break  # memory pressure; retried on next message
                     rpq.popleft()
                     chunk_size = self.cache.pool.chunk_size
+                    # Cluster mode: the part's device offset is the
+                    # layout offset shifted to where this lane maps the
+                    # shard; ``rel`` keeps the layout offset so failover
+                    # and hedging can re-translate for another replica.
+                    delta = (
+                        0 if self.balancer is None
+                        else self.balancer.delta(fetch.shard, fetch.lane)
+                    )
                     offset = fetch.offset
                     remaining = fetch.nbytes
                     ci = 0
@@ -581,11 +631,12 @@ class Reactor:
                         part = min(chunk_size, remaining)
                         postq.append(
                             SPDKRequest(
-                                offset=offset,
+                                offset=offset + delta,
                                 nbytes=part,
                                 chunks=[slot.chunks[ci]],
                                 tag=fetch,
                                 parent_span=fetch.span,
+                                rel=offset,
                             )
                         )
                         fetch.parts_remaining += 1
@@ -597,11 +648,15 @@ class Reactor:
                 if req.tag.failed is not None:
                     # A sibling part already doomed this span; don't
                     # waste a queue slot on it.
-                    self._part_failed(req.tag, req.tag.failed)
+                    self._req_failed(req, req.tag.failed)
                     continue
+                if self._already_settled(req):
+                    continue  # hedge twin whose part already landed
                 qp.post(req)
                 if self.recovery is not None:
                     self._arm_watchdog(req)
+                if self.balancer is not None and self.balancer.hedge_delay > 0.0:
+                    self._arm_hedge(req)
                 # Each doorbell write is serialized work on this core,
                 # paid *between* posts: a submission burst therefore
                 # never lands at one instant, and downstream FIFO
@@ -671,7 +726,7 @@ class Reactor:
                     continue  # reselect: the new parts now compete
                 req = sched.take(shard, entry, "part")
                 if req.tag.failed is not None:
-                    self._part_failed(req.tag, req.tag.failed)
+                    self._req_failed(req, req.tag.failed)
                     continue
                 qp.post(req)
                 sched.on_posted(entry.tenant, shard)
@@ -702,6 +757,9 @@ class Reactor:
         if self.recovery is not None and req.status != STATUS_OK:
             self._recover(req)
             return
+        if self._already_settled(req):
+            return  # hedge twin: the other copy of this part landed first
+        self._settle_part(req)
         fetch.parts_remaining -= 1
         if fetch.failed is not None:
             if fetch.parts_remaining == 0:
@@ -715,6 +773,8 @@ class Reactor:
         if fetch.span is not None:
             fetch.span.finish(status="ok")
         del self._pending[fetch.key]
+        if self.balancer is not None:
+            self.balancer.fetch_done(fetch)
         for job, nbytes in fetch.waiters:
             self._start_delivery(job, fetch.key, nbytes)
         fetch.waiters.clear()
@@ -723,15 +783,61 @@ class Reactor:
         yield from self._flush_inline_copies()
 
     # -- failure recovery --------------------------------------------------------------
+    def _already_settled(self, req: SPDKRequest) -> bool:
+        """Cluster hedging: has this (fetch, part) already been accounted?
+
+        Each layout part settles — lands or terminally fails — exactly
+        once; the losing copy of a hedged pair is dropped here.  Always
+        False outside cluster mode (``done_parts`` is None).
+        """
+        fetch: _PendingFetch = req.tag
+        if fetch.done_parts is None or req.rel not in fetch.done_parts:
+            return False
+        self.recovery_stats.incr("hedges_dropped")
+        return True
+
+    def _settle_part(self, req: SPDKRequest) -> None:
+        fetch: _PendingFetch = req.tag
+        if fetch.done_parts is not None:
+            fetch.done_parts.add(req.rel)
+
+    def _req_failed(self, req: SPDKRequest, exc: BaseException) -> None:
+        """Settle one part as failed (hedge-aware: a pair settles once)."""
+        if self._already_settled(req):
+            return
+        self._settle_part(req)
+        self._part_failed(req.tag, exc)
+
+    def _requeue_part(self, req: SPDKRequest) -> None:
+        """Put an aborted or backed-off part back on a post queue.
+
+        Flat mode: back to the fetch's (only) lane.  Cluster mode: if
+        the fetch's lane died, fail the whole fetch over to a surviving
+        replica, then re-translate this part's device offset for
+        wherever the fetch now points.  With every replica dead the part
+        parks on the dead lane (zero free slots) until a rejoin.
+        """
+        fetch: _PendingFetch = req.tag
+        if self.balancer is not None:
+            if not self.balancer.is_alive(fetch.lane) and self.balancer.reroute(fetch):
+                self.recovery_stats.incr("failovers")
+                if fetch.span is not None:
+                    fetch.span.event("failover", lane=fetch.lane)
+            req.offset = req.rel + self.balancer.delta(fetch.shard, fetch.lane)
+        self._postq[fetch.lane].append(req)
+
     def _recover(self, req: SPDKRequest) -> None:
         """Route one failed part: requeue, retry with backoff, or give up."""
         fetch: _PendingFetch = req.tag
         recovery = self.recovery
         status = req.status
+        if self._already_settled(req):
+            return  # hedge twin of a part that already settled
         self.recovery_stats.incr(
             "aborted" if status == STATUS_ABORTED_RESET else status
         )
         if self._stopping:
+            self._settle_part(req)
             self._part_failed(
                 fetch,
                 SampleReadError(
@@ -741,16 +847,18 @@ class Reactor:
             )
         elif fetch.failed is not None:
             # Span already doomed by a sibling part; just count down.
+            self._settle_part(req)
             self._part_failed(fetch, fetch.failed)
         elif status == STATUS_ABORTED_RESET:
             # Reset aborts are a recovery action, not a device fault:
             # requeue at no cost against the retry budget.
             if fetch.span is not None:
                 fetch.span.event("requeued_after_reset")
-            self._postq[fetch.shard].append(req)
+            self._requeue_part(req)
         elif req.retries >= recovery.max_retries:
             self.recovery_stats.incr("budget_exhausted")
             exc_type = MediaError if status == STATUS_MEDIA_ERROR else RequestTimeout
+            self._settle_part(req)
             self._part_failed(
                 fetch,
                 exc_type(f"{fetch.key!r}: {status} after {req.retries} retries"),
@@ -784,6 +892,8 @@ class Reactor:
         never wedges a batch.
         """
         self._pending.pop(fetch.key, None)
+        if self.balancer is not None and fetch.done_parts is not None:
+            self.balancer.fetch_done(fetch)
         if self.cache.slot(fetch.key) is not None:
             self.cache.discard(fetch.key)
         if fetch.span is not None:
@@ -822,8 +932,8 @@ class Reactor:
         self._pending_retries -= 1
         fetch: _PendingFetch = req.tag
         if fetch.failed is not None or self._stopping:
-            self._part_failed(
-                fetch,
+            self._req_failed(
+                req,
                 fetch.failed
                 or SampleReadError(
                     f"sample span {fetch.key!r} aborted: reactor stopping",
@@ -831,7 +941,9 @@ class Reactor:
                 ),
             )
             return
-        self._postq[fetch.shard].append(req)
+        if self._already_settled(req):
+            return  # the hedge twin settled this part during the backoff
+        self._requeue_part(req)
 
     def _arm_watchdog(self, req: SPDKRequest) -> None:
         """Deadline timer for a posted request (cost-free on the core)."""
@@ -845,6 +957,51 @@ class Reactor:
         yield self.env.timeout(self.recovery.deadline)
         if req.status is None and req.attempts == attempt:
             self.inbox.put_nowait(_DeadlineCheck(req, attempt))
+
+    def _arm_hedge(self, req: SPDKRequest) -> None:
+        """Hedge timer for a posted request (cost-free on the core)."""
+        self.env.process(
+            self._hedge_timer(req, req.attempts), name=f"{self.name}.hedge"
+        )
+
+    def _hedge_timer(
+        self, req: SPDKRequest, attempt: int
+    ) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.balancer.hedge_delay)
+        if req.status is None and req.attempts == attempt:
+            self.inbox.put_nowait(_HedgeCheck(req, attempt))
+
+    def _on_hedge(self, msg: _HedgeCheck) -> None:
+        """Deadline-driven hedged read: post a twin on another replica.
+
+        The slow original keeps running; whichever copy completes first
+        settles the part and the loser is dropped by the ``done_parts``
+        dedup.  Each part is hedged at most once per post attempt.
+        """
+        req = msg.req
+        fetch: _PendingFetch = req.tag
+        if req.status is not None or req.attempts != msg.attempt:
+            return  # completed (or reposted) since the timer was armed
+        if fetch.failed is not None or self._stopping:
+            return
+        if req.rel in fetch.done_parts or req.rel in fetch.hedged_parts:
+            return
+        alt = self.balancer.pick_hedge(fetch, exclude=fetch.lane)
+        if alt is None:
+            return  # no other live replica holds the shard
+        fetch.hedged_parts.add(req.rel)
+        twin = SPDKRequest(
+            offset=req.rel + self.balancer.delta(fetch.shard, alt),
+            nbytes=req.nbytes,
+            chunks=req.chunks,
+            tag=fetch,
+            parent_span=fetch.span,
+            rel=req.rel,
+        )
+        self._postq[alt].append(twin)
+        self.recovery_stats.incr("hedges_posted")
+        if fetch.span is not None:
+            fetch.span.event("hedged", lane=alt)
 
     def _on_deadline(self, msg: _DeadlineCheck) -> None:
         req = msg.req
@@ -863,8 +1020,10 @@ class Reactor:
                 f"{fetch.key!r}: missed {req.retries} deadlines"
             )
         # A stuck command is recovered NVMe-style: reset the qpair, which
-        # aborts everything in flight back to us for requeueing.
-        self._reset_qpair(fetch.shard, forced=False)
+        # aborts everything in flight back to us for requeueing.  The
+        # request flies on the fetch's *lane* (== shard in flat mode;
+        # the routed replica in cluster mode).
+        self._reset_qpair(fetch.lane, forced=False)
 
     def _reset_qpair(self, shard: int, forced: bool) -> None:
         qp = self.qpairs[shard]
@@ -886,9 +1045,61 @@ class Reactor:
 
     def _on_qpair_up(self, shard: int) -> None:
         qp = self.qpairs[shard]
+        if qp.torn_down:
+            return  # node died mid-reset; only a NodeUp revives the lane
         if not qp.connected:
             qp.reconnect()
             self.recovery_stats.exit_degraded()
+
+    # -- cluster node lifecycle ---------------------------------------------------
+    def _on_node_down(self, lane: int) -> None:
+        """A serving node died: tear the lane down, route around it.
+
+        The teardown aborts in-flight parts back to us as
+        ``ABORTED_RESET`` (re-routed by :meth:`_recover`); queued work —
+        ready fetches and promoted parts — fails over immediately.  With
+        every replica of a shard dead its work parks on the dead lane
+        and resumes on rejoin.
+        """
+        qp = self.qpairs[lane]
+        self.balancer.mark_dead(lane)
+        was_connected = qp.connected
+        qp.teardown()
+        if was_connected:
+            self.recovery_stats.enter_degraded()
+        self.recovery_stats.incr("node_down")
+        if self.tracer.enabled:
+            self.tracer.instant("node_down", track=self.name, lane=lane)
+        rpq = self._rpq[lane]
+        parked = list(rpq)
+        rpq.clear()
+        for fetch in parked:
+            if self.balancer.reroute(fetch):
+                self.recovery_stats.incr("failovers")
+                if fetch.span is not None:
+                    fetch.span.event("failover", lane=fetch.lane)
+                self._rpq[fetch.lane].append(fetch)
+            else:
+                rpq.append(fetch)  # every replica dead: park here
+        postq = self._postq[lane]
+        parts = list(postq)
+        postq.clear()
+        for req in parts:
+            if self._already_settled(req):
+                continue  # orphaned hedge twin; drop it
+            self._requeue_part(req)
+
+    def _on_node_up(self, lane: int) -> None:
+        """A crashed node rejoined the fleet: revive its lane."""
+        qp = self.qpairs[lane]
+        if not qp.torn_down:
+            return  # duplicate NodeUp
+        self.balancer.mark_alive(lane)
+        qp.rejoin()
+        self.recovery_stats.exit_degraded()
+        self.recovery_stats.incr("node_up")
+        if self.tracer.enabled:
+            self.tracer.instant("node_up", track=self.name, lane=lane)
 
     def _reset_driver(self, shard: int) -> Generator[Event, Any, None]:
         """Plan-driven periodic qpair resets (chaos injection)."""
@@ -926,7 +1137,7 @@ class Reactor:
             while postq:
                 req = postq.popleft()
                 fetch = req.tag
-                self._part_failed(fetch, fetch.failed or stop_error(fetch))
+                self._req_failed(req, fetch.failed or stop_error(fetch))
         while (
             any(qp.inflight for qp in self.qpairs.values())
             or self._pending_retries > 0
@@ -935,14 +1146,18 @@ class Reactor:
             msg = yield self.inbox.get()
             if self.env.now > idle_from:
                 self._layers.add("poll_idle", self.env.now - idle_from)
-            if isinstance(msg, (SPDKRequest, _RetryRequest, _DeadlineCheck, _QPairUp)):
+            if isinstance(
+                msg,
+                (SPDKRequest, _RetryRequest, _DeadlineCheck, _QPairUp,
+                 NodeDown, NodeUp),
+            ):
                 yield from self._dispatch(msg)
                 for postq in self._postq.values():
                     while postq:
                         req = postq.popleft()
                         fetch = req.tag
-                        self._part_failed(
-                            fetch, fetch.failed or stop_error(fetch)
+                        self._req_failed(
+                            req, fetch.failed or stop_error(fetch)
                         )
             elif isinstance(msg, ReadJob):
                 # Late job during teardown: fail every sample, but let

@@ -19,6 +19,7 @@ a ``key=value,key=value`` string or a path to a JSON file — into a plan.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, fields, replace
 
@@ -67,13 +68,50 @@ class FaultPlan:
     #: target one tenant and check its retries cannot starve a neighbor.
     tenant_faults: tuple = ()
 
+    # -- node crash/rejoin schedule (cluster serving tier) ---------------------
+    #: Deterministic node-failure lifecycle, as
+    #: ``((node_index, crash_time, rejoin_time), ...)``; ``rejoin_time``
+    #: may be ``None`` for a crash the node never comes back from.
+    #: Driven by :class:`repro.cluster.ClusterLifecycle` under a
+    #: replicated :class:`~repro.core.DLFSConfig` (``config.cluster``).
+    node_crashes: tuple = ()
+
+    def __post_init__(self) -> None:
+        # Up-front validation: a bad plan fails at construction with a
+        # one-line ConfigError, never minutes into a chaos run.
+        self.validate()
+
     def validate(self) -> None:
         for f in fields(self):
             value = getattr(self, f.name)
-            if f.name in ("seed", "tenant_faults"):
+            if f.name in ("seed", "tenant_faults", "node_crashes"):
                 continue
+            if not math.isfinite(value):
+                raise ConfigError(f"fault plan field {f.name} must be finite")
             if value < 0:
                 raise ConfigError(f"fault plan field {f.name} must be >= 0")
+        for entry in self.node_crashes:
+            if len(entry) != 3:
+                raise ConfigError(
+                    "node_crashes entries must be (node, crash_time, rejoin_time)"
+                )
+            node, crash_time, rejoin_time = entry
+            if not isinstance(node, int) or node < 0:
+                raise ConfigError(
+                    f"node_crashes node index must be an int >= 0, got {node!r}"
+                )
+            if not math.isfinite(crash_time) or crash_time < 0:
+                raise ConfigError(
+                    f"node_crashes crash_time for node {node} must be >= 0, "
+                    f"got {crash_time!r}"
+                )
+            if rejoin_time is not None and (
+                not math.isfinite(rejoin_time) or rejoin_time <= crash_time
+            ):
+                raise ConfigError(
+                    f"node_crashes rejoin_time for node {node} must be "
+                    f"> crash_time {crash_time}, got {rejoin_time!r}"
+                )
         for entry in self.tenant_faults:
             if len(entry) != 2:
                 raise ConfigError("tenant_faults entries must be (tenant, rate)")
@@ -100,6 +138,7 @@ class FaultPlan:
             and self.nvmf_drop_rate == 0.0
             and self.qpair_reset_period == 0.0
             and not any(rate > 0.0 for _tenant, rate in self.tenant_faults)
+            and not self.node_crashes
         )
 
 
@@ -191,6 +230,7 @@ def parse_fault_plan(text: str) -> FaultPlan:
     valid = {f.name for f in fields(FaultPlan)}
     updates = {}
     tenant_faults = []
+    node_crashes = []
     def _number(key, value, cast=float):
         try:
             return cast(value)
@@ -198,6 +238,18 @@ def parse_fault_plan(text: str) -> FaultPlan:
             raise ConfigError(
                 f"bad fault-plan value for {key!r}: {value!r}"
             ) from None
+
+    def _crash(key, node, value):
+        # Inline crash schedule: "crash.3=0.01:0.03" (crash:rejoin) or
+        # "crash.3=0.01" (never rejoins).
+        parts = str(value).split(":")
+        if len(parts) not in (1, 2):
+            raise ConfigError(
+                f"bad fault-plan entry {key!r}: expected crash[:rejoin] times"
+            )
+        crash_time = _number(key, parts[0])
+        rejoin_time = _number(key, parts[1]) if len(parts) == 2 else None
+        node_crashes.append((node, crash_time, rejoin_time))
 
     for key, value in items:
         if key.startswith("tenant."):
@@ -207,6 +259,9 @@ def parse_fault_plan(text: str) -> FaultPlan:
                 raise ConfigError(f"bad fault-plan entry {key!r}: empty tenant name")
             tenant_faults.append((tenant, _number(key, value)))
             continue
+        if key.startswith("crash."):
+            _crash(key, _number(key, key[len("crash."):].strip(), int), value)
+            continue
         name = _ALIASES.get(key, key)
         if name not in valid:
             raise ConfigError(f"unknown fault-plan field {key!r}")
@@ -215,9 +270,25 @@ def parse_fault_plan(text: str) -> FaultPlan:
             pairs = value.items() if isinstance(value, dict) else value
             tenant_faults.extend((t, _number(t, r)) for t, r in pairs)
             continue
+        if name == "node_crashes":
+            # JSON form: {"node_crashes": [[3, 0.01, 0.03], [5, 0.02, null]]}.
+            for entry in value:
+                if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                    raise ConfigError(
+                        "node_crashes entries must be [node, crash, rejoin|null]"
+                    )
+                node, crash_time, rejoin_time = entry
+                node_crashes.append((
+                    _number("node_crashes", node, int),
+                    _number("node_crashes", crash_time),
+                    None if rejoin_time is None
+                    else _number("node_crashes", rejoin_time),
+                ))
+            continue
         updates[name] = _number(key, value, int if name == "seed" else float)
     if tenant_faults:
         updates["tenant_faults"] = tuple(tenant_faults)
-    plan = replace(FaultPlan(), **updates)
-    plan.validate()
-    return plan
+    if node_crashes:
+        updates["node_crashes"] = tuple(node_crashes)
+    # Construction validates (FaultPlan.__post_init__).
+    return replace(FaultPlan(), **updates)

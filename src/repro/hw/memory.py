@@ -13,7 +13,37 @@ from typing import Any, Generator, Optional
 from ..errors import AllocationError, ConfigError
 from ..sim import Environment, Event, Store, fastpath_enabled
 
-__all__ = ["HugePageChunk", "HugePagePool", "ChunkLedger"]
+__all__ = ["HugePageChunk", "HugePagePool", "ChunkLedger", "chunk_quotas"]
+
+
+def chunk_quotas(num_chunks: int, shares: dict[str, float]) -> dict[str, int]:
+    """Absolute chunk quotas for fractional shares, never oversubscribed.
+
+    Each share is floored (minimum 1 chunk so every tenant can make
+    progress); because flooring never rounds *up* past a share, quotas
+    summing to <= 1.0 of the pool always fit.  Oversubscription — from
+    shares summing past 1.0, or from many sub-chunk shares each bumped
+    to the 1-chunk minimum — raises :class:`ConfigError` up front
+    instead of letting tenants deadlock against a pool that cannot hold
+    everyone's minimum.
+    """
+    if num_chunks < 1:
+        raise ConfigError("chunk_quotas needs a pool of at least one chunk")
+    quotas: dict[str, int] = {}
+    for name in sorted(shares):
+        share = shares[name]
+        if not 0.0 < share <= 1.0:
+            raise ConfigError(
+                f"cache share for {name!r} must be in (0, 1], got {share}"
+            )
+        quotas[name] = max(1, int(num_chunks * share))
+    total = sum(quotas.values())
+    if total > num_chunks:
+        raise ConfigError(
+            f"cache shares oversubscribe the pool: {total} chunks needed "
+            f"for {len(quotas)} tenants, pool holds {num_chunks}"
+        )
+    return quotas
 
 
 class ChunkLedger:

@@ -39,6 +39,7 @@ from .export import (
     render_breakdown,
     render_percentiles,
     render_tenants,
+    render_cluster,
     write_chrome_trace,
     write_metrics,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "percentile_rows",
     "render_percentiles",
     "render_tenants",
+    "render_cluster",
 ]
 
 

@@ -33,6 +33,7 @@ __all__ = [
     "percentile_rows",
     "render_percentiles",
     "render_tenants",
+    "render_cluster",
 ]
 
 #: Seconds -> Chrome trace microseconds.
@@ -224,6 +225,42 @@ def render_tenants(
             svc = service_shares.get(r["tenant"])
             line += f"  {svc:>6.1%}" if svc is not None else f"  {'-':>6}"
         lines.append(line)
+    return "\n".join(lines)
+
+
+def render_cluster(
+    routed: dict,
+    recovery: Optional[dict] = None,
+    lifecycle: Optional[dict] = None,
+    title: str = "cluster serving report",
+) -> str:
+    """Plaintext replicated-serving report: per-lane routing + lifecycle.
+
+    ``routed`` maps lane -> fetches routed there (the balancer's view,
+    merged over clients); ``recovery`` and ``lifecycle`` are the plain
+    counter dicts from the reactor recovery stats and the cluster
+    lifecycle (kept as dicts so obs never imports cluster).
+    """
+    lines = [f"-- {title} --"]
+    total = sum(routed.values())
+    if routed:
+        lines.append(f"  {'lane':>6}  {'routed':>8}  {'share':>6}")
+        for lane in sorted(routed):
+            count = routed[lane]
+            share = (count / total) if total else 0.0
+            lines.append(f"  {lane:>6}  {count:>8}  {share:>6.1%}")
+        lines.append(f"  {'total':>6}  {total:>8}")
+    else:
+        lines.append("  (no fetches routed)")
+    for label, counters in (("recovery", recovery), ("lifecycle", lifecycle)):
+        if not counters:
+            continue
+        lines.append(f"  {label}:")
+        width = max(len(k) for k in counters)
+        for key in sorted(counters):
+            value = counters[key]
+            shown = f"{value * 1e3:.3f} ms" if key == "degraded_time" else value
+            lines.append(f"    {key:<{width}}  {shown}")
     return "\n".join(lines)
 
 

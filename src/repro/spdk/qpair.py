@@ -80,6 +80,10 @@ class IOQPair:
         #: aborts everything in flight back to the sink, and bumps the
         #: generation so stale device completions are dropped.
         self.connected = True
+        #: Node-death lifecycle (cluster serving tier): while torn down
+        #: the qpair stays disconnected across reconnect attempts — only
+        #: :meth:`rejoin` (node back in the fleet) revives it.
+        self.torn_down = False
         self._generation = 0
         #: request -> generation for every live in-flight request.
         self._live: dict[SPDKRequest, int] = {}
@@ -281,7 +285,27 @@ class IOQPair:
         """Bring a disconnected qpair back into service."""
         if self.connected:
             raise ConfigError(f"{self.name}: qpair is already connected")
+        if self.torn_down:
+            raise QPairResetError(f"{self.name}: target node is down")
         self.connected = True
+
+    def teardown(self) -> list[SPDKRequest]:
+        """Target node died: abort in-flight I/O, refuse reconnects.
+
+        Unlike a plain :meth:`reset` (which the recovery driver undoes
+        after ``reconnect_delay``), a torn-down qpair stays disconnected
+        until :meth:`rejoin` — the balancer must route around it.
+        Idempotent; returns the requests aborted by this call.
+        """
+        aborted = self.reset() if self.connected else []
+        self.torn_down = True
+        return aborted
+
+    def rejoin(self) -> None:
+        """Node back in the fleet: allow service again."""
+        self.torn_down = False
+        if not self.connected:
+            self.reconnect()
 
     def __repr__(self) -> str:
         state = "" if self.connected else " DISCONNECTED"

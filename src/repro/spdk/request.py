@@ -49,7 +49,7 @@ class SPDKRequest:
     __slots__ = (
         "offset", "nbytes", "chunks", "tag", "request_id", "submit_time",
         "complete_time", "status", "attempts", "retries", "parent_span",
-        "span",
+        "span", "rel",
     )
 
     def __init__(
@@ -59,9 +59,17 @@ class SPDKRequest:
         chunks: Sequence[HugePageChunk],
         tag: Optional[object] = None,
         parent_span: Optional[object] = None,
+        rel: Optional[int] = None,
     ) -> None:
         #: Device byte offset (block aligned).
         self.offset = offset
+        #: Replica-independent part identity: the *layout* offset of
+        #: this part.  The cluster balancer re-derives ``offset`` from
+        #: it when a failover or hedge moves the part to another
+        #: replica's device (each lane maps the shard at its own base),
+        #: and uses it to dedup a hedge twin's completion.  Equal to
+        #: ``offset`` outside cluster mode.
+        self.rel = offset if rel is None else rel
         #: Transfer size (block aligned).
         self.nbytes = nbytes
         #: Hugepage chunks that receive the data.

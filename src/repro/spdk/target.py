@@ -52,6 +52,46 @@ class NVMeoFTarget:
         self.injector = None
         #: Observability (null object until install_observability).
         self.tracer = NULL_TRACER
+        #: Node-crash state (cluster serving tier): while failed, new
+        #: capsules and every in-flight service wedge at the next stage
+        #: boundary — the client's qpair teardown (generation bump) is
+        #: what resolves them, exactly like a real dead host.
+        self.failed = False
+        #: Events black-holed service processes are suspended on.  The
+        #: target pins them so the suspended generators stay reachable:
+        #: an *unreachable* process<->event cycle would be closed by the
+        #: garbage collector, and generator close runs the client
+        #: qpair's ``finally`` slot-reclaim — silently dropping the
+        #: request with no completion, at GC-dependent (nondeterministic)
+        #: times.  Kept for the target's lifetime; bounded by the total
+        #: in-flight commands across crash windows.
+        self._wedged: list = []
+        #: Optional :class:`repro.cluster.NodeReadCache`; a hit skips
+        #: the device read (None = pay-for-use off).
+        self.read_cache = None
+
+    def fail(self) -> None:
+        """Node crash: stop serving (in-flight work wedges)."""
+        self.failed = True
+
+    def restore(self) -> None:
+        """Node rejoin: serve again."""
+        self.failed = False
+
+    def _black_hole(self, span: Optional[object]):
+        """Suspend forever — the node is gone, nothing completes.
+
+        Holds no resources, and the pending event never enters the
+        event queue, so ``env.run()`` still terminates when the queue
+        drains.  The event is pinned on the target (see ``_wedged``):
+        the client's qpair teardown — not garbage collection — is what
+        resolves the abandoned command, exactly like a real dead host.
+        """
+        if span is not None:
+            span.event("node_dead")
+        wedge = self.env.event()
+        self._wedged.append(wedge)
+        yield wedge
 
     def install_fault_injector(self, injector) -> None:
         """Attach a :class:`repro.faults.FaultInjector` to this target."""
@@ -81,6 +121,8 @@ class NVMeoFTarget:
                 "nvmf.serve", track=self.name, parent=parent, cat="nvmf",
                 client=client_host, nbytes=nbytes,
             )
+        if self.failed:
+            yield from self._black_hole(span)
         if self.injector is not None:
             # A lost command capsule is retransmitted after a stall.
             stall = self.injector.nvmf_fault(self.name, self.env.now)
@@ -94,17 +136,28 @@ class NVMeoFTarget:
         )
         # NVMe-oF protocol adds a few microseconds over raw RDMA.
         yield self.env.timeout(spec.nvmf_added_latency)
+        if self.failed:
+            yield from self._black_hole(span)
         # Target reactor picks the capsule up and submits to the device.
         if self.cmd_overhead > 0:
             yield from self._reactor.hold(self.cmd_overhead)
-        cmd = self.device.read(offset, nbytes, parent=span)
-        yield cmd.completion
-        if cmd.status != STATUS_OK:
-            # No data to return; the error status rides the response
-            # capsule back to the client qpair.
+        if self.read_cache is not None and self.read_cache.lookup(offset, nbytes):
+            # Serving-cache hit: data already in target hugepages.
             if span is not None:
-                span.finish(status=cmd.status)
-            return cmd.status
+                span.event("node_cache_hit")
+        else:
+            cmd = self.device.read(offset, nbytes, parent=span)
+            yield cmd.completion
+            if cmd.status != STATUS_OK:
+                # No data to return; the error status rides the response
+                # capsule back to the client qpair.
+                if span is not None:
+                    span.finish(status=cmd.status)
+                return cmd.status
+            if self.read_cache is not None:
+                self.read_cache.insert(offset, nbytes)
+        if self.failed:
+            yield from self._black_hole(span)
         # Data is RDMA-written straight into the client's hugepages.
         yield from self.fabric.rdma_write(
             self.host, client_host, nbytes, parent=span

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..hw.memory import ChunkLedger
+from ..hw.memory import ChunkLedger, chunk_quotas
 
 __all__ = ["CachePartition"]
 
@@ -41,11 +41,15 @@ class CachePartition:
         return bool(self._shares)
 
     def attach(self, cache: object, num_chunks: int) -> None:
-        """Bind to a client's sample cache and fix absolute quotas."""
+        """Bind to a client's sample cache and fix absolute quotas.
+
+        Raises :class:`~repro.errors.ConfigError` when the summed quotas
+        (each floored, minimum one chunk) oversubscribe the pool.
+        """
         self.cache = cache
         cache.on_free = self.on_free
-        for name, share in self._shares.items():
-            self.ledger.set_quota(name, max(1, int(num_chunks * share)))
+        for name, quota in chunk_quotas(num_chunks, self._shares).items():
+            self.ledger.set_quota(name, quota)
 
     # -- admission ------------------------------------------------------------
     def _reclaimable(self, tenant: str) -> int:

@@ -37,6 +37,15 @@ from ..sim import rng as sim_rng
 
 __all__ = ["TenantWorkload", "TrafficEngine"]
 
+#: Deterministic gap between closed-loop worker start instants.  Every
+#: worker submitting its first job at exactly t=0 would race in the
+#: reactor inbox on the event queue's same-timestamp tiebreak — results
+#: would then depend on process creation order, which the SimSanitizer
+#: rejects.  Real trainers never start in nanosecond lockstep either;
+#: 100 ns is far below any simulated service time, so steady-state
+#: behavior is unchanged.
+WORKER_START_STAGGER = 100e-9
+
 
 @dataclass(frozen=True)
 class TenantWorkload:
@@ -150,15 +159,17 @@ class TrafficEngine:
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> list:
         """Spawn one process per open-loop tenant / closed-loop worker."""
+        spawn = 0
         for w in self.workloads:
             if w.kind == "train":
                 for wid in range(w.concurrency):
                     self.procs.append(
                         self.env.process(
-                            self._closed_loop(w, wid),
+                            self._closed_loop(w, wid, spawn),
                             name=f"traffic.{w.name}.{wid}",
                         )
                     )
+                    spawn += 1
             else:
                 self.procs.append(
                     self.env.process(
@@ -188,7 +199,7 @@ class TrafficEngine:
             seq += 1
             t += self._gap(w, arr)
 
-    def _closed_loop(self, w: TenantWorkload, wid: int):
+    def _closed_loop(self, w: TenantWorkload, wid: int, spawn: int = 0):
         lo, hi = self._range(w)
         perm_rng = self._stream(w, "epoch", extra=wid + 2)
         # Worker `wid` owns every concurrency-th sample of the epoch
@@ -199,6 +210,9 @@ class TrafficEngine:
             return
         if w.start_offset is not None and w.start_offset > 0:
             yield self.env.timeout(w.start_offset)
+        # `spawn` is the engine-wide worker index: distinct first-submit
+        # instants for every closed-loop worker (see WORKER_START_STAGGER).
+        yield self.env.timeout((spawn + 1) * WORKER_START_STAGGER)
         pos = 0
         seq = 0
         while self.env.now < self.horizon:

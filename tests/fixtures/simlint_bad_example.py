@@ -45,6 +45,11 @@ def unstable_ordering(env: Environment, items):
     return ordered, digest
 
 
+def busy_retry(attempts):
+    for _ in range(attempts):
+        time.sleep(0.01)                  # SL110
+
+
 def unguarded_obs(self):
     self.tracer.instant("tick", track="x")  # SL109
     span = time.monotonic()               # SL101; suppression below is bad

@@ -218,8 +218,12 @@ def test_cli_sanitize_report(tmp_path, capsys, monkeypatch):
     # Keep the CLI smoke fast: swap the default workload for the toy one.
     monkeypatch.setattr(san, "default_workload", commuting_workload)
     out = tmp_path / "report.json"
-    rc = cli.main(["sanitize", "--runs", "2", "--out", str(out)])
+    rc = cli.main([
+        "sanitize", "--runs", "2", "--scenario", "default", "--out", str(out)
+    ])
     assert rc == 0
     assert "PASS" in capsys.readouterr().out
+    # The JSON artifact is keyed by scenario (--scenario all sweeps both
+    # the flat datapath and the cluster crash-during-handoff workload).
     payload = json.loads(out.read_text())
-    assert payload["ok"] is True
+    assert payload["default"]["ok"] is True
