@@ -1,0 +1,229 @@
+"""Fetch/transform disaggregation: the pushdown crossover sweep.
+
+Not a paper figure — this exercises the transform tier
+(:mod:`repro.xform`) across the two axes the pushdown cost model
+trades: stage *selectivity* (output bytes / input bytes) and fabric
+bandwidth.  Every cell runs the same serving workload three times —
+``placement="worker"`` (ship raw bytes, transform on the worker pool),
+``placement="storage"`` (OffloadFS-style full pushdown onto the
+storage nodes' cores), and ``placement="cost"`` (the analytic
+boundary) — and gates three acceptance properties:
+
+* **pushdown wins where it should** — at selectivity < 1 under a
+  constrained fabric, shipping the shrunken bytes beats shipping raw:
+  storage placement must out-throughput worker placement in every
+  ``CROSSOVER_WIN`` cell;
+* **pushdown loses where it should** — when the stage inflates the
+  record (selectivity > 1, decompression) or the fabric is fast enough
+  that storage CPU is the scarce resource (2 nodes x 1 pushdown core
+  vs 2 workers x 2 cores), full pushdown must lose in every
+  ``CROSSOVER_LOSE`` cell.  Both gates tolerate a ``TIE_BAND`` margin:
+  cells sitting *on* the crossover are near-ties whose sign flips with
+  the sample count, and a tie is not a wrong-side crossover;
+* **the cost model tracks the winner** — cost placement must reach at
+  least ``COST_TRACKING`` of the better static extreme in every cell
+  (it picks per-run from spec'd costs, so it should simply *be* the
+  winner).
+
+Per-tier CPU utilization rows for the two extreme cells land in the
+artifact, showing the bottleneck migrating between tiers.  Doubles as
+a CI smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_xform.py --quick
+"""
+
+import argparse
+import dataclasses
+import json
+import sys
+
+from repro.bench.workloads import dlfs_xform
+from repro.hw.platform import Testbed
+from repro.xform import XformSpec, augment, decompress, tfrecord_parse
+
+GB = 1e9
+
+#: Selectivity axis: shrinking augmentations below 1, decompression
+#: inflation above.
+SELECTIVITIES = (0.25, 0.5, 1.0, 2.0)
+#: Fabric bandwidth axis (bytes/s).
+BANDWIDTHS = (1.5 * GB, 3.0 * GB, 6.0 * GB)
+#: Cells where full pushdown must WIN (selectivity, bandwidth).
+CROSSOVER_WIN = tuple(
+    (s, b) for s in (0.25, 0.5) for b in (1.5 * GB, 3.0 * GB)
+)
+#: Cells where full pushdown must LOSE.
+CROSSOVER_LOSE = tuple(
+    [(2.0, b) for b in BANDWIDTHS] + [(s, 6.0 * GB) for s in SELECTIVITIES]
+)
+#: Cost placement vs the better static extreme, per cell.
+COST_TRACKING = 0.95
+#: Win/lose gates ignore gaps smaller than this fraction — cells on
+#: the crossover itself are ties, not wrong-side results.
+TIE_BAND = 0.03
+
+#: Per-byte CPU cost of the swept stage — light enough that the wire
+#: term can dominate on a constrained fabric (the crossover needs both
+#: regimes reachable).
+STAGE_PER_BYTE = 0.5e-9
+
+
+def _stages(selectivity: float) -> tuple:
+    """parse + one swept stage: augment shrinks, decompress inflates."""
+    if selectivity <= 1.0:
+        swept = augment(selectivity=selectivity, per_byte=STAGE_PER_BYTE)
+    else:
+        swept = decompress(ratio=selectivity, per_byte=STAGE_PER_BYTE)
+    return (tfrecord_parse(), swept)
+
+
+def _testbed(bandwidth: float) -> Testbed:
+    tb = Testbed.paper_emulated()
+    return dataclasses.replace(
+        tb, network=dataclasses.replace(tb.network, bandwidth=bandwidth)
+    )
+
+
+def run_cell(selectivity: float, bandwidth: float, placement: str,
+             num_samples: int, horizon: float):
+    r = dlfs_xform(
+        num_storage=2, num_clients=2, num_samples=num_samples,
+        horizon=horizon,
+        spec=XformSpec(stages=_stages(selectivity), workers=2,
+                       placement=placement),
+        testbed=_testbed(bandwidth),
+    )
+    return {
+        "throughput": r.sample_throughput,
+        "delivered": r.delivered,
+        "failed": r.failed,
+        "boundary": r.tier["boundary"],
+        "stages": r.tier["stages"],
+        "utilization": list(r.utilization),
+    }
+
+
+def run_sweep(num_samples: int, horizon: float):
+    """The full selectivity x bandwidth x placement grid."""
+    cells = []
+    for sel in SELECTIVITIES:
+        for bw in BANDWIDTHS:
+            by_placement = {
+                placement: run_cell(sel, bw, placement, num_samples, horizon)
+                for placement in ("worker", "storage", "cost")
+            }
+            worker = by_placement["worker"]["throughput"]
+            storage = by_placement["storage"]["throughput"]
+            cost = by_placement["cost"]["throughput"]
+            best = max(worker, storage)
+            cells.append({
+                "selectivity": sel,
+                "bandwidth": bw,
+                "worker": worker,
+                "storage": storage,
+                "cost": cost,
+                "cost_boundary": by_placement["cost"]["boundary"],
+                "winner": "storage" if storage > worker else "worker",
+                "cost_tracking": cost / best if best else 0.0,
+                "failed": sum(p["failed"] for p in by_placement.values()),
+                "utilization": {
+                    "worker": by_placement["worker"]["utilization"],
+                    "storage": by_placement["storage"]["utilization"],
+                },
+            })
+    return cells
+
+
+def judge(cells):
+    """Apply the three gates; returns (violations, per-cell status)."""
+    index = {(c["selectivity"], c["bandwidth"]): c for c in cells}
+    violations = []
+    for sel, bw in CROSSOVER_WIN:
+        c = index[(sel, bw)]
+        if c["storage"] < c["worker"] * (1 - TIE_BAND):
+            violations.append(
+                f"pushdown should win at sel={sel} bw={bw / GB:g}GB/s: "
+                f"storage {c['storage']:.0f} < worker {c['worker']:.0f}"
+            )
+    for sel, bw in CROSSOVER_LOSE:
+        c = index[(sel, bw)]
+        if c["storage"] > c["worker"] * (1 + TIE_BAND):
+            violations.append(
+                f"pushdown should lose at sel={sel} bw={bw / GB:g}GB/s: "
+                f"storage {c['storage']:.0f} > worker {c['worker']:.0f}"
+            )
+    for c in cells:
+        if c["failed"]:
+            violations.append(
+                f"samples failed at sel={c['selectivity']} "
+                f"bw={c['bandwidth'] / GB:g}GB/s"
+            )
+        if c["cost_tracking"] < COST_TRACKING:
+            violations.append(
+                f"cost placement off the winner at sel={c['selectivity']} "
+                f"bw={c['bandwidth'] / GB:g}GB/s: "
+                f"{c['cost_tracking']:.2f} < {COST_TRACKING}"
+            )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer samples and a shorter horizon (CI)")
+    parser.add_argument("--out", default="BENCH_xform.json",
+                        help="JSON artifact path (default BENCH_xform.json)")
+    args = parser.parse_args(argv)
+
+    num_samples = 512 if args.quick else 1024
+    horizon = 0.004 if args.quick else 0.006
+
+    print(f"== bench_xform: 2 storage (1 pushdown core) + 2 workers "
+          f"(2 cores), 2 clients, horizon {horizon * 1e3:.0f} ms ==\n")
+    print(f"  {'sel':>5} {'fabric':>8} {'worker':>9} {'storage':>9} "
+          f"{'cost':>9}  {'k':>2}  winner")
+    cells = run_sweep(num_samples, horizon)
+    for c in cells:
+        print(f"  {c['selectivity']:>5} {c['bandwidth'] / GB:>6.1f}GB "
+              f"{c['worker']:>9,.0f} {c['storage']:>9,.0f} "
+              f"{c['cost']:>9,.0f}  {c['cost_boundary']:>2}  {c['winner']}")
+
+    violations = judge(cells)
+    for v in violations:
+        print(f"  VIOLATION: {v}")
+
+    lo = next(c for c in cells
+              if c["selectivity"] == 0.25 and c["bandwidth"] == 1.5 * GB)
+    hi = next(c for c in cells
+              if c["selectivity"] == 2.0 and c["bandwidth"] == 6.0 * GB)
+    print("\n-- per-tier CPU at the extremes (storage placement) --")
+    for label, cell in (("sel=0.25 1.5GB/s", lo), ("sel=2.0 6GB/s", hi)):
+        rows = " ".join(
+            f"{r['tier']}/{r['node']}={r['cpu']:.0%}"
+            for r in cell["utilization"]["storage"]
+        )
+        print(f"  {label}: {rows}")
+
+    ok = not violations
+    artifact = {
+        "ok": ok,
+        "num_samples": num_samples,
+        "horizon": horizon,
+        "stage_per_byte": STAGE_PER_BYTE,
+        "cost_tracking_bar": COST_TRACKING,
+        "tie_band": TIE_BAND,
+        "crossover_win_cells": [[s, b] for s, b in CROSSOVER_WIN],
+        "crossover_lose_cells": [[s, b] for s, b in CROSSOVER_LOSE],
+        "cells": cells,
+        "violations": violations,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    print(f"verdict: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

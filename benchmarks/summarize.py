@@ -1,0 +1,208 @@
+"""Render every BENCH_*.json artifact into one trajectory table.
+
+Each benchmark writes a JSON artifact at the repo root (``bench_engine``
+-> ``BENCH_engine.json`` and so on).  This script collects them all and
+renders ``BENCHMARKS.md`` — a single markdown page with a verdict/
+headline row per benchmark plus a short detail section each — so the
+repo's perf trajectory is readable at a glance without replaying the
+sweeps::
+
+    PYTHONPATH=src python benchmarks/summarize.py
+
+Artifacts are summarized by name when the shape is known and fall back
+to a generic ``ok``-flag row otherwise, so a future ``BENCH_foo.json``
+shows up without code changes here.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+GB = 1e9
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _fmt(value, spec=",.0f"):
+    try:
+        return format(value, spec)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+# -- per-artifact summarizers -------------------------------------------------
+# Each returns (verdict: bool | None, headline: str, detail: list[str]).
+
+def summarize_engine(data):
+    digest = data.get("digest_check", {})
+    verdict = digest.get("ok")
+    fig06 = data.get("fig06", {})
+    micro = data.get("benchmarks", {})
+    speedups = [m.get("speedup") for m in micro.values()
+                if isinstance(m, dict) and m.get("speedup")]
+    headline = (
+        f"fig06 min speedup {_fmt(fig06.get('min_speedup'), '.2f')}x, "
+        f"{len(micro)} microbench(es), sim results bit-identical"
+    )
+    detail = ["| case | reference (s) | optimized (s) | speedup |",
+              "|---|---|---|---|"]
+    for name, m in micro.items():
+        detail.append(
+            f"| {name} | {_fmt(m.get('reference_s'), '.3f')} "
+            f"| {_fmt(m.get('optimized_s'), '.3f')} "
+            f"| {_fmt(m.get('speedup'), '.2f')}x |"
+        )
+    for name, case in fig06.get("cases", {}).items():
+        detail.append(
+            f"| fig06 {name} | {_fmt(case.get('reference_s'), '.3f')} "
+            f"| {_fmt(case.get('optimized_s'), '.3f')} "
+            f"| {_fmt(case.get('speedup'), '.2f')}x |"
+        )
+    if speedups:
+        headline = (
+            f"kernel {min(speedups):.2f}-{max(speedups):.2f}x on "
+            f"microbenches, fig06 min "
+            f"{_fmt(fig06.get('min_speedup'), '.2f')}x, bit-identical"
+        )
+    return verdict, headline, detail
+
+
+def summarize_tenancy(data):
+    errs = [t.get("err", 0.0)
+            for run in data.get("fairness", ())
+            for t in run.get("tenants", ())]
+    iso = data.get("isolation", {})
+    headline = (
+        f"worst fair-share error {max(errs) * 100 if errs else 0:.2f}% "
+        f"(bar {data.get('fairness_tolerance', 0) * 100:g}%), "
+        f"victim p99 x{_fmt(iso.get('ratio'), '.2f')} under a hostile "
+        f"neighbor (bar {_fmt(data.get('isolation_ratio_bar'), 'g')}x)"
+    )
+    detail = ["| fairness run (weights) | worst err |", "|---|---|"]
+    for run in data.get("fairness", ()):
+        worst = max((t.get("err", 0.0) for t in run.get("tenants", ())),
+                    default=0.0)
+        detail.append(f"| {run.get('weights')} | {worst * 100:.2f}% |")
+    return data.get("ok"), headline, detail
+
+
+def summarize_cluster(data):
+    scaling = data.get("scaling", ())
+    failover = data.get("failover", {})
+    eff = None
+    if len(scaling) >= 2 and scaling[0].get("per_client"):
+        eff = scaling[-1].get("per_client", 0) / scaling[0]["per_client"]
+    headline = (
+        f"scale-out efficiency {_fmt(eff, '.0%')} at "
+        f"{scaling[-1].get('storage') if scaling else '?'} nodes, "
+        f"crash p99 x{_fmt(failover.get('victim_p99_ratio'), '.2f')} "
+        f"(bar {_fmt(data.get('p99_degradation_bar'), 'g')}x), "
+        f"{failover.get('failed_crash', '?')} samples lost in failover"
+    )
+    detail = ["| storage nodes | clients | throughput (samples/s) |",
+              "|---|---|---|"]
+    for row in scaling:
+        detail.append(
+            f"| {row.get('storage')} | {row.get('clients')} "
+            f"| {_fmt(row.get('throughput'))} |"
+        )
+    return data.get("ok"), headline, detail
+
+
+def summarize_xform(data):
+    cells = data.get("cells", ())
+    pushdown_wins = sum(1 for c in cells if c.get("winner") == "storage")
+    tracking = [c.get("cost_tracking", 0.0) for c in cells]
+    headline = (
+        f"pushdown wins {pushdown_wins}/{len(cells)} cells "
+        f"(selectivity < 1 on a constrained fabric), cost placement >= "
+        f"{min(tracking) if tracking else 0:.0%} of the best static "
+        f"extreme everywhere"
+    )
+    detail = ["| selectivity | fabric | worker | storage | cost (k) "
+              "| winner |", "|---|---|---|---|---|---|"]
+    for c in cells:
+        detail.append(
+            f"| {c.get('selectivity')} | {c.get('bandwidth', 0) / GB:g}GB/s "
+            f"| {_fmt(c.get('worker'))} | {_fmt(c.get('storage'))} "
+            f"| {_fmt(c.get('cost'))} ({c.get('cost_boundary')}) "
+            f"| {c.get('winner')} |"
+        )
+    return data.get("ok"), headline, detail
+
+
+def summarize_generic(data):
+    verdict = data.get("ok")
+    keys = ", ".join(sorted(data)[:8])
+    return verdict, f"keys: {keys}", []
+
+
+SUMMARIZERS = {
+    "engine": summarize_engine,
+    "tenancy": summarize_tenancy,
+    "cluster": summarize_cluster,
+    "xform": summarize_xform,
+}
+
+
+def render(root):
+    """The full markdown page for every artifact under ``root``."""
+    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    rows, sections = [], []
+    for path in paths:
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            rows.append((name, None, f"unreadable artifact: {exc}"))
+            continue
+        summarize = SUMMARIZERS.get(name, summarize_generic)
+        verdict, headline, detail = summarize(data)
+        rows.append((name, verdict, headline))
+        if detail:
+            sections.append((name, detail))
+
+    mark = {True: "PASS", False: "FAIL", None: "?"}
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "Generated by `benchmarks/summarize.py` from the `BENCH_*.json`",
+        "artifacts at the repo root; re-run the benchmarks, then this",
+        "script, to refresh.",
+        "",
+        "| benchmark | verdict | headline |",
+        "|---|---|---|",
+    ]
+    for name, verdict, headline in rows:
+        lines.append(f"| {name} | {mark[verdict]} | {headline} |")
+    for name, detail in sections:
+        lines += ["", f"## {name}", ""] + detail
+    return "\n".join(lines) + "\n", rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="directory holding the BENCH_*.json artifacts")
+    parser.add_argument("--out", default=None,
+                        help="output path (default <root>/BENCHMARKS.md)")
+    args = parser.parse_args(argv)
+
+    page, rows = render(args.root)
+    out = args.out or os.path.join(args.root, "BENCHMARKS.md")
+    with open(out, "w") as fh:
+        fh.write(page)
+    for name, verdict, _ in rows:
+        print(f"  {name}: {'PASS' if verdict else '?' if verdict is None else 'FAIL'}")
+    print(f"wrote {out} ({len(rows)} artifact(s))")
+    if not rows:
+        print("no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,33 @@ def _full_witness(result: Any) -> Dict[str, Any]:
     return w
 
 
+def _xform_pay_for_use(num_samples: int, horizon: float) -> Dict[str, Any]:
+    """The transform tier's pay-for-use gate, self-checking.
+
+    Runs the xform workload with *no* stages and the flat cluster
+    datapath it claims to be, and diffs their full witnesses inside the
+    workload; any mismatch lands in ``self_divergences``, which
+    :func:`run_perfcheck` surfaces as a failure.  On top of that, the
+    pair runs under both kernels like every other gate.
+    """
+    from ..bench.workloads import dlfs_cluster, dlfs_xform
+
+    x = _full_witness(dlfs_xform(
+        num_storage=2, num_clients=2, num_samples=num_samples,
+        horizon=horizon, spec=None, metrics=True,
+    ))
+    flat = _full_witness(dlfs_cluster(
+        num_storage=2, num_clients=2, num_samples=num_samples,
+        horizon=horizon, replicas=1, balancer=False, metrics=True,
+    ))
+    x["self_divergences"] = tuple(
+        f"pay-for-use: {key} xform={x.get(key)!r} != flat={flat.get(key)!r}"
+        for key in sorted(set(x) | set(flat))
+        if x.get(key) != flat.get(key)
+    )
+    return x
+
+
 def default_workloads(quick: bool = False) -> Dict[str, Callable[[], Any]]:
     """The fig06/fig08/tenancy correctness gates.
 
@@ -82,15 +109,23 @@ def default_workloads(quick: bool = False) -> Dict[str, Callable[[], Any]]:
     kernel is also proven invisible to the fair-queued datapath.  The
     cluster workload drives the replicated serving tier through a full
     crash/failover/rejoin cycle, proving the fast-path kernel invisible
-    to lane teardown, re-routing, and the handoff copy loop too.
+    to lane teardown, re-routing, and the handoff copy loop too.  The
+    xform workloads gate the fetch/transform tier: the pushdown
+    datapath under both kernels, and the pay-for-use identity (no
+    stages ⇒ bit-identical to the flat cluster datapath, checked
+    inside the workload via ``self_divergences``).
     """
-    from ..bench.workloads import dlfs_cluster, dlfs_observed, dlfs_tenancy
+    from ..bench.workloads import dlfs_cluster, dlfs_observed, dlfs_tenancy, \
+        dlfs_xform
+    from ..xform import XformSpec, parse_stages
 
     samples = 256 if quick else 1024
     nodes = 2 if quick else 4
     horizon = 0.02 if quick else 0.05
     cluster_nodes = 4 if quick else 8
     cluster_samples = 2048 if quick else 8192
+    xform_samples = 512 if quick else 2048
+    xform_horizon = 0.004 if quick else 0.01
     return {
         "fig06_single_node": lambda: dlfs_observed(
             samples=samples, batch=32, mode="chunk", num_nodes=1,
@@ -107,6 +142,16 @@ def default_workloads(quick: bool = False) -> Dict[str, Callable[[], Any]]:
             num_storage=cluster_nodes, num_clients=1, replicas=2,
             num_samples=cluster_samples, horizon=0.01,
             node_crashes=((1, 0.004, 0.008),), metrics=True,
+        ),
+        "xform_pushdown": lambda: dlfs_xform(
+            num_storage=2, num_clients=2, num_samples=xform_samples,
+            horizon=xform_horizon,
+            spec=XformSpec(stages=parse_stages("parse,augment:0.5"),
+                           workers=2),
+            metrics=True,
+        ),
+        "xform_pay_for_use": lambda: _xform_pay_for_use(
+            xform_samples, xform_horizon
         ),
     }
 
@@ -174,6 +219,12 @@ def run_perfcheck(
                     progress(f"{name}: {label} kernel")
                 _engine.set_fastpath(enabled)
                 pair[label] = _full_witness(workload())
+            # A workload can self-check an internal identity (e.g. the
+            # xform pay-for-use gate) and report the diffs out-of-band;
+            # they fail the run but are excluded from the ref/opt diff.
+            for label, witness in pair.items():
+                for d in witness.pop("self_divergences", ()):
+                    report.divergences.append(f"{name}[{label}]: {d}")
             report.witnesses[name] = pair
             ref, opt = pair["reference"], pair["optimized"]
             for key in sorted(set(ref) | set(opt)):

@@ -45,6 +45,7 @@ __all__ = [
     "run_sanitizer",
     "default_workload",
     "cluster_crash_workload",
+    "xform_crash_workload",
 ]
 
 
@@ -238,6 +239,44 @@ def cluster_crash_workload() -> Dict[str, Any]:
         witness[f"lifecycle.{key}"] = value
     for key in ("failovers", "node_down", "node_up"):
         witness[f"recovery.{key}"] = report.recovery.get(key, 0)
+    return witness
+
+
+def xform_crash_workload() -> Dict[str, Any]:
+    """The transform-tier sweep target: worker crash with re-dispatch.
+
+    A transform worker crashes under live traffic and rejoins while
+    tasks are queued, in service, and mid-ship, so the re-dispatch
+    path, the slot-waiter bounce, the transfer-engine credit release,
+    and the affinity-failover re-routing all run under perturbed
+    tiebreaks.  Single client, like the other sweep targets — the
+    sanitizer falsifies tiebreak dependence inside the datapath, not
+    arrival races between symmetric closed-loop clients.  Returns a
+    plain dict witness including the tier counters — a
+    tiebreak-dependent routing or re-dispatch decision would diverge
+    there even if the delivered samples happen to match.
+    """
+    from ..bench.workloads import dlfs_xform
+    from ..xform import XformSpec, parse_stages
+
+    report = dlfs_xform(
+        num_storage=2, num_clients=1, num_samples=512, horizon=0.004,
+        spec=XformSpec(stages=parse_stages("parse,augment:0.5"), workers=2),
+        xform_crashes=((0, 0.002, 0.005),),
+    )
+    witness: Dict[str, Any] = {
+        "sim_time": float(report.sim_time),
+        "samples_sha1": hashlib.sha1(
+            bytes(report.samples_read.tobytes())
+        ).hexdigest(),
+        "samples_n": int(len(report.samples_read)),
+        "delivered": int(report.delivered),
+        "failed": int(report.failed),
+    }
+    for key, value in report.tier.items():
+        witness[f"tier.{key}"] = value
+    for lane, count in report.routed.items():
+        witness[f"routed.{lane}"] = count
     return witness
 
 

@@ -51,6 +51,7 @@ __all__ = [
     "dlfs_observed",
     "dlfs_tenancy",
     "dlfs_cluster",
+    "dlfs_xform",
     "demo_tenants",
     "fair_tenants",
     "cluster_tenants",
@@ -59,6 +60,7 @@ __all__ = [
     "TraceReport",
     "TenancyReport",
     "ClusterReport",
+    "XformReport",
 ]
 
 DEFAULT_SEED = 42
@@ -1195,6 +1197,190 @@ def dlfs_cluster(
             "failovers": failovers,
             "cache_routed": cache_routed,
         },
+        obs=fs.obs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Disaggregated fetch/transform tier driver (xform)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class XformReport:
+    """One fetch/transform serving run (:func:`dlfs_xform`)."""
+
+    #: Delivered samples per simulated second (over the full run).
+    sample_throughput: float
+    #: Samples delivered across all clients and tenants.
+    delivered: int
+    #: Samples lost to unrecoverable faults.
+    failed: int
+    #: Jobs completed across all traffic engines.
+    jobs: int
+    #: Final simulated time (arrival horizon + drain + teardown).
+    sim_time: float
+    #: Every completed job's sample indices in (client, tenant, job-key)
+    #: order — the determinism witness (completion-order independent).
+    samples_read: np.ndarray
+    #: Per-tenant accounting rows merged across clients (includes the
+    #: transform-queue wait column; zero-filled when xform is off).
+    per_tenant: tuple
+    #: Every job completion, merged over all clients and sorted.
+    records: tuple
+    #: Transform-tier counters (tasks, direct_ships, redispatches,
+    #: crashes, rejoins, boundary, stages) — empty dict when xform off.
+    tier: dict
+    #: TransferEngine per-link attribution rows — empty when xform off.
+    links: tuple
+    #: Per-tier CPU utilization rows (storage pushdown cores + transform
+    #: workers) — empty when xform off.
+    utilization: tuple
+    #: Per-transform-lane routed task counts — empty when xform off.
+    routed: dict
+    #: The observability bundle (null objects unless metrics/trace on).
+    obs: object
+
+
+def dlfs_xform(
+    num_storage: int = 2,
+    num_clients: int = 2,
+    num_samples: int = 2048,
+    sample_bytes: int = 64 * 1024,
+    horizon: float = 0.01,
+    seed: int = DEFAULT_SEED,
+    spec=None,
+    xform_crashes: tuple = (),
+    replicas: int = 1,
+    balancer: bool = False,
+    queue_depth: int = 32,
+    specs: Optional[tuple] = None,
+    workloads: Optional[tuple] = None,
+    metrics: bool = False,
+    trace: bool = False,
+    testbed: Optional[Testbed] = None,
+) -> XformReport:
+    """One serving run through the disaggregated fetch/transform tier.
+
+    ``spec`` is a :class:`repro.xform.XformSpec`; ``None`` or a spec
+    with no stages is the pay-for-use contract: **no** transform worker
+    nodes are built (extra NICs would perturb the fabric digest) and
+    the run is bit-identical to :func:`dlfs_cluster` with the same
+    arguments — the ``xform_pay_for_use`` perfcheck workload holds the
+    two side by side.
+
+    With stages configured, ``spec.workers`` extra CPU-only nodes join
+    the cluster as transform lanes.  Each fetched job re-enters the
+    tier: the pushdown prefix of the stage pipeline burns storage-node
+    CPU, the boundary bytes ship storage→worker through the chunked
+    :class:`~repro.xform.TransferEngine`, the suffix runs on the
+    client's affinity lane, and the output ships worker→trainer before
+    the job completes — so transform queueing counts against tenant
+    SLOs.  ``testbed`` overrides the hardware description (the
+    crossover benchmark sweeps fabric bandwidth through it).
+    ``xform_crashes`` entries are ``(worker, crash_time,
+    rejoin_time)``; in-flight tasks on a crashed lane re-dispatch to
+    survivors (re-shipping their bytes), and the run must still deliver
+    every sample.
+    """
+    from ..tenancy import TrafficEngine
+    from ..xform import XformRuntime, XformTier
+
+    if (specs is None) != (workloads is None):
+        raise ConfigError("pass both specs and workloads, or neither")
+    if specs is None:
+        specs, workloads = cluster_tenants(num_samples)
+    enabled = spec is not None and spec.enabled
+    num_workers = spec.workers if enabled else 0
+    env = Environment()
+    cluster = Cluster(
+        env,
+        testbed if testbed is not None else Testbed.paper_emulated(),
+        num_nodes=num_clients + num_storage + num_workers,
+        devices_per_node=0,
+    )
+    placement = []
+    for d in range(num_storage):
+        storage = cluster.node(num_clients + d)
+        storage.add_device()
+        placement.append((storage.index, 0))
+    ds = _dataset(num_samples, sample_bytes)
+    config = DLFSConfig(
+        batching="sample",
+        queue_depth=queue_depth,
+        cluster=ClusterSpec(replicas=replicas, balancer=balancer),
+        trace=trace,
+        metrics=metrics,
+    )
+    fs = DLFS.mount(cluster, ds, config, placement=placement)
+    tier = None
+    if enabled:
+        worker_nodes = [
+            cluster.node(num_clients + num_storage + w)
+            for w in range(num_workers)
+        ]
+        tier = XformTier(
+            env, spec, fs, worker_nodes,
+            crashes=tuple(xform_crashes),
+            registry=fs.obs.metrics if fs.obs.enabled else None,
+        )
+    elif xform_crashes:
+        raise ConfigError("xform_crashes given but no transform stages")
+    clients = [
+        fs.client(rank=r, num_ranks=num_clients, node=cluster.node(r))
+        for r in range(num_clients)
+    ]
+    runtimes = []
+    engines = []
+    procs = []
+    for r, client in enumerate(clients):
+        runtime = ClusterRuntime(env, client.reactor, specs)
+        runtimes.append(runtime)
+        if tier is not None:
+            runtime = XformRuntime(
+                env, runtime, tier, cluster.node(r).name, rank=r
+            )
+        engine = TrafficEngine(
+            env, runtime, ds, tuple(workloads),
+            seed=seed + 1000 * r, horizon=horizon,
+        )
+        engines.append(engine)
+        procs.extend(engine.start())
+    env.run(until=env.all_of(procs))
+    for r, engine in enumerate(engines):
+        env.run(until=env.process(engine.drain(), name=f"xform.drain[{r}]"))
+
+    def teardown(env, client):
+        yield from client.shutdown()
+
+    for r, client in enumerate(clients):
+        env.run(
+            until=env.process(
+                teardown(env, client), name=f"xform.teardown[{r}]"
+            )
+        )
+    env.run()  # drain trailing timers (rejoin schedules, watchdogs)
+
+    records = tuple(sorted(rec for rt in runtimes for rec in rt.records))
+    witness_parts = [e.samples_read() for e in engines]
+    witness = (
+        np.concatenate(witness_parts)
+        if witness_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    delivered = sum(e.delivered for e in engines)
+    return XformReport(
+        sample_throughput=delivered / env.now if env.now > 0 else 0.0,
+        delivered=delivered,
+        failed=sum(e.failed for e in engines),
+        jobs=sum(e.jobs_completed for e in engines),
+        sim_time=env.now,
+        samples_read=witness,
+        per_tenant=_merge_tenant_rows(runtimes, records),
+        records=records,
+        tier=tier.counters() if tier is not None else {},
+        links=tuple(tier.engine.link_rows()) if tier is not None else (),
+        utilization=tuple(tier.utilization_rows()) if tier is not None else (),
+        routed=tier.routed() if tier is not None else {},
         obs=fs.obs,
     )
 

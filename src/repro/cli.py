@@ -52,6 +52,14 @@ traffic, and prints per-lane routing plus recovery/lifecycle counters::
     python -m repro cluster
     python -m repro cluster --crash 1=0.004:0.012 --replicas 2
     python -m repro cluster --quick --crash 1=0.004:0.008 --out results/cluster.json
+
+``xform`` runs the disaggregated fetch/transform tier: decode/transform
+stages with pushdown placement (storage node vs transform workers), the
+chunked fabric transfer engine, and per-tier utilization reporting::
+
+    python -m repro xform --stages parse,augment:0.5
+    python -m repro xform --stages parse,decompress:2 --placement storage
+    python -m repro xform --stages parse --crash 0=0.002:0.005 --out results/xform.json
 """
 
 from __future__ import annotations
@@ -224,9 +232,11 @@ def main(argv: list[str] | None = None) -> int:
     p_san.add_argument("--seed", type=int, default=2019,
                        help="base perturbation seed (default 2019)")
     p_san.add_argument(
-        "--scenario", choices=("default", "cluster", "all"), default="all",
+        "--scenario", choices=("default", "cluster", "xform", "all"),
+        default="all",
         help="workload(s) to sweep: the flat datapath smoke, the "
-             "cluster crash-during-handoff scenario, or both (default all)",
+             "cluster crash-during-handoff scenario, the transform-tier "
+             "crash scenario, or all (default all)",
     )
     p_san.add_argument("--out", type=pathlib.Path, default=None,
                        help="write the JSON report here")
@@ -271,6 +281,48 @@ def main(argv: list[str] | None = None) -> int:
                            help="smaller fleet and dataset (CI smoke)")
     p_cluster.add_argument("--out", type=pathlib.Path, default=None,
                            help="write a JSON summary here")
+
+    p_xform = sub.add_parser(
+        "xform",
+        help="disaggregated fetch/transform tier: pushdown placement, "
+             "chunked fabric transfers, per-tier utilization",
+    )
+    p_xform.add_argument(
+        "--stages", default="parse,augment:0.5",
+        help="comma list of kind[:arg][@placement] stages — parse "
+             "(arg = payload bytes), decompress (arg = ratio), augment "
+             "(arg = selectivity); @storage/@worker pin a stage "
+             "(default parse,augment:0.5); 'none' disables the tier",
+    )
+    p_xform.add_argument("--placement", default="cost",
+                         choices=("cost", "storage", "worker"),
+                         help="pushdown policy for auto stages (default cost)")
+    p_xform.add_argument("--packed", type=float, default=1.0,
+                         help="FanStore-style packed-format ratio (>= 1; "
+                              "adds an unpack stage, default 1 = off)")
+    p_xform.add_argument("--workers", type=int, default=2,
+                         help="transform worker nodes (default 2)")
+    p_xform.add_argument("--storage", type=int, default=2,
+                         help="storage nodes (default 2)")
+    p_xform.add_argument("--clients", type=int, default=2,
+                         help="client nodes driving traffic (default 2)")
+    p_xform.add_argument(
+        "--crash", action="append", default=[], metavar="WORKER=T1[:T2]",
+        help="seeded transform-worker crash: worker index, crash time, "
+             "optional rejoin time (sim seconds); repeatable",
+    )
+    p_xform.add_argument("--samples", type=int, default=2048,
+                         help="dataset samples (default 2048)")
+    p_xform.add_argument("--size", type=int, default=64 * 1024,
+                         help="sample size in bytes (default 65536)")
+    p_xform.add_argument("--horizon", type=float, default=0.01,
+                         help="arrival window in sim seconds (default 0.01)")
+    p_xform.add_argument("--seed", type=int, default=42,
+                         help="traffic-engine seed (default 42)")
+    p_xform.add_argument("--quick", action="store_true",
+                         help="smaller dataset and horizon (CI smoke)")
+    p_xform.add_argument("--out", type=pathlib.Path, default=None,
+                         help="write a JSON summary here")
 
     args = parser.parse_args(argv)
 
@@ -460,11 +512,16 @@ def main(argv: list[str] | None = None) -> int:
         import json
 
         from .analysis import run_sanitizer
-        from .analysis.sanitizer import cluster_crash_workload, default_workload
+        from .analysis.sanitizer import (
+            cluster_crash_workload,
+            default_workload,
+            xform_crash_workload,
+        )
 
         scenarios = {
             "default": default_workload,
             "cluster": cluster_crash_workload,
+            "xform": xform_crash_workload,
         }
         selected = (
             list(scenarios) if args.scenario == "all" else [args.scenario]
@@ -572,6 +629,86 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(f"\nwrote {args.out}")
         print(f"[cluster in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        return 0
+
+    if args.command == "xform":
+        import json
+
+        from .bench.workloads import dlfs_xform
+        from .errors import ConfigError
+        from .obs import render_tenants, render_xform
+        from .xform import XformSpec, parse_stages
+
+        try:
+            crashes = tuple(_parse_crash(spec) for spec in args.crash)
+        except ValueError as exc:
+            print(f"error: --crash: {exc}", file=sys.stderr)
+            return 2
+        samples = 1024 if args.quick else args.samples
+        horizon = 0.005 if args.quick else args.horizon
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        try:
+            stages = (
+                () if args.stages.strip() in ("", "none")
+                else parse_stages(args.stages)
+            )
+            spec = (
+                XformSpec(
+                    stages=stages, workers=args.workers,
+                    placement=args.placement, packed_ratio=args.packed,
+                )
+                if stages else None
+            )
+            r = dlfs_xform(
+                num_storage=args.storage, num_clients=args.clients,
+                num_samples=samples, sample_bytes=args.size,
+                horizon=horizon, seed=args.seed, spec=spec,
+                xform_crashes=crashes,
+            )
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"== xform: {args.storage} storage + "
+              f"{args.workers if spec else 0} transform nodes, "
+              f"{args.clients} client(s), stages '{args.stages}', "
+              f"placement {args.placement}, horizon {horizon * 1e3:.0f} ms, "
+              f"seed {args.seed} ==")
+        print(f"throughput        {r.sample_throughput:,.0f} samples/s")
+        print(f"delivered         {r.delivered}")
+        if r.failed:
+            print(f"failed            {r.failed}")
+        print(f"jobs              {r.jobs}")
+        print(f"sim time          {r.sim_time * 1e3:.3f} ms")
+        print()
+        print(render_xform(r.tier, r.utilization, r.links, r.routed))
+        if r.per_tenant:
+            print()
+            print(render_tenants(r.per_tenant, title="per-tenant (merged)"))
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            summary = {
+                "storage": args.storage,
+                "workers": args.workers if spec else 0,
+                "clients": args.clients,
+                "stages": args.stages,
+                "placement": args.placement,
+                "packed": args.packed,
+                "delivered": r.delivered,
+                "failed": r.failed,
+                "jobs": r.jobs,
+                "sim_time": r.sim_time,
+                "sample_throughput": r.sample_throughput,
+                "tier": r.tier,
+                "links": list(r.links),
+                "utilization": list(r.utilization),
+                "routed": r.routed,
+                "per_tenant": list(r.per_tenant),
+            }
+            args.out.write_text(
+                json.dumps(summary, indent=2, default=str) + "\n"
+            )
+            print(f"\nwrote {args.out}")
+        print(f"[xform in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0
 
     if args.command in ("all", "claims"):

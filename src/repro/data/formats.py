@@ -13,6 +13,7 @@ experiments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +25,9 @@ __all__ = [
     "BatchedFile",
     "TFRecordFormat",
     "CIFARBatchFormat",
+    "DecodeCostModel",
+    "decompression_selectivity",
+    "tfrecord_parse_selectivity",
     "shuffle_quality",
     "shuffle_buffer_order",
 ]
@@ -136,6 +140,82 @@ class CIFARBatchFormat:
                 )
             )
         return files
+
+
+@dataclass(frozen=True)
+class DecodeCostModel:
+    """Per-record decode/transform cost with a byte selectivity.
+
+    The transform tier (:mod:`repro.xform`) models every decode stage —
+    TFRecord parse, decompression, augmentation — as an affine CPU cost
+    ``fixed + per_byte * input_bytes`` plus a *selectivity*: the ratio
+    of output bytes to input bytes.  Selectivity < 1 shrinks the record
+    (parsing strips framing, crops drop pixels); selectivity > 1
+    inflates it (decompression); selectivity 0 is a filter that emits
+    metadata only.
+    """
+
+    #: CPU seconds per input byte.
+    per_byte: float = 0.0
+    #: CPU seconds per record, paid even for a zero-byte record (header
+    #: validation, dispatch, allocator work).
+    fixed: float = 0.0
+    #: output_bytes / input_bytes (>= 0; > 1 means inflation).
+    selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("per_byte", "fixed", "selectivity"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ConfigError(f"decode cost {name} must be finite")
+            if value < 0:
+                raise ConfigError(f"decode cost {name} must be >= 0")
+
+    def cost(self, input_bytes: int) -> float:
+        """CPU seconds to decode one record of ``input_bytes``.
+
+        A zero-byte record still pays ``fixed`` — the framing walk and
+        dispatch happen regardless of payload size.
+        """
+        if input_bytes < 0:
+            raise ConfigError(f"negative record size: {input_bytes}")
+        return self.fixed + self.per_byte * input_bytes
+
+    def output_bytes(self, input_bytes: int) -> int:
+        """Bytes emitted for one record of ``input_bytes`` (rounded)."""
+        if input_bytes < 0:
+            raise ConfigError(f"negative record size: {input_bytes}")
+        return int(round(input_bytes * self.selectivity))
+
+
+def decompression_selectivity(compression_ratio: float) -> float:
+    """Selectivity of a decompress stage for a given compression ratio.
+
+    ``compression_ratio`` is uncompressed/compressed bytes; a ratio of
+    2.0 means the stored record inflates 2x when decoded, i.e. the
+    stage's selectivity *is* the ratio (> 1: decompression inflation).
+    Ratios must be finite and >= 1 — a "compressor" that grows its
+    input is a configuration error, and 0/negative ratios divide byte
+    budgets downstream.
+    """
+    if not math.isfinite(compression_ratio):
+        raise ConfigError("compression ratio must be finite")
+    if compression_ratio < 1.0:
+        raise ConfigError(
+            f"compression ratio must be >= 1, got {compression_ratio}"
+        )
+    return float(compression_ratio)
+
+
+def tfrecord_parse_selectivity(payload_bytes: int) -> float:
+    """Selectivity of stripping TFRecord framing from one record.
+
+    Output is the payload; input is payload + the 16-byte frame, so a
+    zero-byte record has selectivity 0 (all framing, no payload).
+    """
+    if payload_bytes < 0:
+        raise ConfigError(f"negative payload size: {payload_bytes}")
+    return payload_bytes / (payload_bytes + TFRECORD_HEADER_BYTES)
 
 
 def shuffle_buffer_order(

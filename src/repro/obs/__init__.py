@@ -40,6 +40,7 @@ from .export import (
     render_percentiles,
     render_tenants,
     render_cluster,
+    render_xform,
     write_chrome_trace,
     write_metrics,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "render_percentiles",
     "render_tenants",
     "render_cluster",
+    "render_xform",
 ]
 
 

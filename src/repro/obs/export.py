@@ -34,6 +34,7 @@ __all__ = [
     "render_percentiles",
     "render_tenants",
     "render_cluster",
+    "render_xform",
 ]
 
 #: Seconds -> Chrome trace microseconds.
@@ -207,7 +208,7 @@ def render_tenants(
     header = (
         f"  {'tenant':<{width}}  {'wt':>5}  {'pri':>3}  {'jobs':>7}  "
         f"{'rej':>5}  {'samples':>8}  {'failed':>6}  {'MB':>9}  "
-        f"{'share':>6}  {'p50':>9}  {'p99':>9}  {'slo!':>5}"
+        f"{'share':>6}  {'p50':>9}  {'p99':>9}  {'xq p99':>9}  {'slo!':>5}"
     )
     if service_shares is not None:
         header += f"  {'svc%':>6}"
@@ -219,6 +220,7 @@ def render_tenants(
             f"{r['samples']:>8}  {r['failed']:>6}  "
             f"{r['bytes'] / 1e6:>9.2f}  {r['share']:>6.1%}  "
             f"{ms(r['p50']):>9}  {ms(r['p99']):>9}  "
+            f"{ms(r.get('xform_wait_p99', 0.0)):>9}  "
             f"{r['slo_violations']:>5}"
         )
         if service_shares is not None:
@@ -261,6 +263,61 @@ def render_cluster(
             value = counters[key]
             shown = f"{value * 1e3:.3f} ms" if key == "degraded_time" else value
             lines.append(f"    {key:<{width}}  {shown}")
+    return "\n".join(lines)
+
+
+def render_xform(
+    tier: dict,
+    utilization: Iterable[dict] = (),
+    links: Iterable[dict] = (),
+    routed: Optional[dict] = None,
+    title: str = "fetch/transform tier report",
+) -> str:
+    """Plaintext transform-tier report: per-tier utilization, transfer
+    engine per-link byte/latency attribution, per-lane routing.
+
+    All inputs are plain dicts/rows (``XformTier.counters()``,
+    ``.utilization_rows()``, ``TransferEngine.link_rows()``,
+    ``XformTier.routed()``) so obs never imports xform.
+    """
+    lines = [f"-- {title} --"]
+    if not tier:
+        lines.append("  (transform tier off: flat datapath)")
+        return "\n".join(lines)
+    lines.append(
+        f"  boundary: {tier['boundary']}/{tier['stages']} stages on storage"
+        f"  tasks={tier['tasks']}  direct_ships={tier['direct_ships']}"
+        f"  redispatches={tier['redispatches']}"
+        f"  crashes={tier['crashes']}  rejoins={tier['rejoins']}"
+    )
+    rows = list(utilization)
+    if rows:
+        lines.append(f"  {'tier':<8}  {'node':<8}  {'cores':>5}  {'cpu':>6}")
+        for r in rows:
+            lines.append(
+                f"  {r['tier']:<8}  {r['node']:<8}  {r['cores']:>5}  "
+                f"{r['cpu']:>6.1%}"
+            )
+    if routed:
+        total = sum(routed.values())
+        lines.append(f"  {'lane':>6}  {'routed':>8}  {'share':>6}")
+        for lane in sorted(routed):
+            count = routed[lane]
+            share = (count / total) if total else 0.0
+            lines.append(f"  {lane:>6}  {count:>8}  {share:>6.1%}")
+    link_rows = list(links)
+    if link_rows:
+        lines.append(
+            f"  {'link':<18}  {'MB':>9}  {'chunks':>7}  {'xfers':>6}  "
+            f"{'credit wait':>11}  {'busy':>9}"
+        )
+        for r in link_rows:
+            lines.append(
+                f"  {r['src'] + '->' + r['dst']:<18}  "
+                f"{r['bytes'] / 1e6:>9.2f}  {r['chunks']:>7}  "
+                f"{r['transfers']:>6}  {r['credit_wait'] * 1e3:>9.3f}ms  "
+                f"{r['busy'] * 1e3:>7.3f}ms"
+            )
     return "\n".join(lines)
 
 

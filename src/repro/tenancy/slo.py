@@ -44,6 +44,7 @@ class TenantAccounting:
         r.counter(f"tenant.{name}.bytes_delivered")
         r.counter(f"tenant.{name}.slo_violations")
         r.histogram(f"tenant.{name}.job_latency")
+        r.histogram(f"tenant.{name}.xform_wait")
 
     def _spec(self, name: str):
         spec = self._specs.get(name)
@@ -79,6 +80,13 @@ class TenantAccounting:
         self._spec(tenant)
         self.registry.counter(f"tenant.{tenant}.jobs_rejected").incr()
 
+    def on_xform_wait(self, tenant: str, wait: float) -> None:
+        """Transform-queue wait for one task (zero when the transform
+        tier is off or a job ships direct) — tenancy accounting covers
+        both tiers."""
+        self._spec(tenant)
+        self.registry.histogram(f"tenant.{tenant}.xform_wait").observe(wait)
+
     # -- reporting ------------------------------------------------------------
     def rows(self) -> list[dict]:
         """One report row per tenant, sorted by name; shares sum to 1."""
@@ -105,6 +113,9 @@ class TenantAccounting:
                     "share": (nbytes / total_bytes) if total_bytes else 0.0,
                     "p50": hist.percentile(50.0),
                     "p99": hist.percentile(99.0),
+                    "xform_wait_p99": r.histogram(
+                        f"tenant.{name}.xform_wait"
+                    ).percentile(99.0),
                     "slo_violations": r.counter(
                         f"tenant.{name}.slo_violations"
                     ).value,

@@ -1,0 +1,47 @@
+"""Disaggregated fetch/transform tier (PD disaggregation, storage edition).
+
+DL ingest splits into two phases with opposite resource shapes: fetch is
+I/O-bound and lives on the storage nodes; decode/transform (TFRecord
+parse, decompression, augmentation) is CPU-bound.  This package
+disaggregates the second phase onto its own pool of CPU worker nodes —
+:class:`XformTier` — connected by an explicit chunked
+:class:`TransferEngine` over the fabric, with an OffloadFS-style
+:class:`~repro.xform.stages.PushdownPolicy` deciding per stage whether
+to burn storage-side CPU to ship fewer bytes or ship raw bytes and
+transform on the tier.
+
+Pay-for-use: a spec with no stages builds nothing and the datapath is
+bit-identical to the flat one (enforced by the ``xform_pay_for_use``
+perfcheck workload).
+"""
+
+from .stages import (
+    PushdownPolicy,
+    TransformStage,
+    augment,
+    decompress,
+    parse_stages,
+    pipeline_bytes,
+    pipeline_cost,
+    stages_with_packing,
+    tfrecord_parse,
+)
+from .tier import TransformWorker, XformRuntime, XformSpec, XformTier
+from .transfer import TransferEngine
+
+__all__ = [
+    "TransformStage",
+    "PushdownPolicy",
+    "tfrecord_parse",
+    "decompress",
+    "augment",
+    "parse_stages",
+    "pipeline_bytes",
+    "pipeline_cost",
+    "stages_with_packing",
+    "TransferEngine",
+    "XformSpec",
+    "XformTier",
+    "XformRuntime",
+    "TransformWorker",
+]

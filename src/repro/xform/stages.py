@@ -1,0 +1,297 @@
+"""Transform stages and the pushdown placement policy.
+
+A :class:`TransformStage` is one decode/transform step in the ingest
+pipeline — TFRecord parse, decompression, augmentation — modeled as a
+:class:`~repro.data.formats.DecodeCostModel` (affine CPU cost plus a
+byte *selectivity*) with a placement constraint.  Stages run in order;
+the pipeline is split at a single *boundary*: stages before it run on
+the storage node that holds the sample (OffloadFS-style pushdown,
+burning storage-side CPU to ship fewer bytes), stages at or after it
+run on the transform tier (shipping the boundary bytes over the
+fabric).
+
+:class:`PushdownPolicy` picks that boundary.  ``"worker"`` and
+``"storage"`` are the static extremes; ``"cost"`` evaluates every legal
+boundary against an analytic per-sample latency built from four terms:
+storage CPU seconds over the storage-core budget, wire seconds for the
+boundary bytes, worker CPU seconds over the worker-core budget, and
+wire seconds for the *output* bytes (zero at full pushdown — the
+boundary ship already delivers to the trainer).  The budgets are the
+cores one job's work actually traverses, not tier totals: a job's
+per-node group runs on a single keyed storage core that every client
+shares, while its transform suffix spreads across its affinity lane's
+dedicated cores — which is exactly why pushdown loses once storage
+CPU, not the wire, is the scarce resource.  The decision is made once
+per run from spec'd costs, never from live queue state, so placement
+can never ride on a same-timestamp event-ordering tiebreak (the
+SimSanitizer contract).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..data.formats import (
+    DecodeCostModel,
+    decompression_selectivity,
+    tfrecord_parse_selectivity,
+)
+from ..errors import ConfigError
+
+__all__ = [
+    "TransformStage",
+    "PushdownPolicy",
+    "tfrecord_parse",
+    "decompress",
+    "augment",
+    "parse_stages",
+    "pipeline_bytes",
+    "pipeline_cost",
+    "stages_with_packing",
+]
+
+#: Valid per-stage placement constraints.
+PLACEMENTS = ("auto", "storage", "worker")
+
+
+@dataclass(frozen=True)
+class TransformStage:
+    """One decode/transform step: a cost model plus a placement pin."""
+
+    name: str
+    cost: DecodeCostModel
+    #: ``"storage"``/``"worker"`` pin the stage to that tier; ``"auto"``
+    #: lets :class:`PushdownPolicy` place it.
+    placement: str = "auto"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("transform stage needs a non-empty name")
+        if self.placement not in PLACEMENTS:
+            raise ConfigError(
+                f"stage {self.name!r}: placement must be one of {PLACEMENTS}, "
+                f"got {self.placement!r}"
+            )
+
+    @property
+    def selectivity(self) -> float:
+        return self.cost.selectivity
+
+
+# -- stage constructors -------------------------------------------------------
+
+def tfrecord_parse(
+    payload_bytes: int = 64 * 1024,
+    per_byte: float = 0.05e-9,
+    fixed: float = 0.3e-6,
+    placement: str = "auto",
+) -> TransformStage:
+    """Strip TFRecord framing: CRC walk over the record, emit the payload."""
+    return TransformStage(
+        name="parse",
+        cost=DecodeCostModel(
+            per_byte=per_byte,
+            fixed=fixed,
+            selectivity=tfrecord_parse_selectivity(payload_bytes),
+        ),
+        placement=placement,
+    )
+
+
+def decompress(
+    ratio: float,
+    per_byte: float = 0.5e-9,
+    fixed: float = 0.5e-6,
+    placement: str = "auto",
+) -> TransformStage:
+    """Decompress a packed record: selectivity = compression ratio (> 1)."""
+    return TransformStage(
+        name=f"decompress:{ratio:g}",
+        cost=DecodeCostModel(
+            per_byte=per_byte,
+            fixed=fixed,
+            selectivity=decompression_selectivity(ratio),
+        ),
+        placement=placement,
+    )
+
+
+def augment(
+    selectivity: float = 0.5,
+    per_byte: float = 2.0e-9,
+    fixed: float = 1.0e-6,
+    placement: str = "auto",
+) -> TransformStage:
+    """Augmentation (crop/resize/normalize): selectivity < 1 shrinks."""
+    return TransformStage(
+        name=f"augment:{selectivity:g}",
+        cost=DecodeCostModel(
+            per_byte=per_byte, fixed=fixed, selectivity=selectivity
+        ),
+        placement=placement,
+    )
+
+
+_STAGE_KINDS = ("parse", "decompress", "augment")
+
+
+def parse_stages(text: str) -> tuple:
+    """Parse a CLI stage list like ``"parse,decompress:2,augment:0.5"``.
+
+    Each entry is ``kind[:arg][@placement]``: ``parse`` (optional arg =
+    payload bytes), ``decompress`` (arg = compression ratio, default 2),
+    ``augment`` (arg = selectivity, default 0.5).  ``@storage`` /
+    ``@worker`` pin a stage; the default is ``auto``.
+    """
+    stages = []
+    for raw in text.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        entry, at, placement = entry.partition("@")
+        placement = placement.strip() if at else "auto"
+        kind, colon, arg = entry.partition(":")
+        kind = kind.strip()
+        if kind not in _STAGE_KINDS:
+            raise ConfigError(
+                f"unknown stage kind {kind!r} (expected one of {_STAGE_KINDS})"
+            )
+        try:
+            value = float(arg) if colon else None
+        except ValueError:
+            raise ConfigError(f"bad stage argument in {raw!r}") from None
+        if kind == "parse":
+            stages.append(tfrecord_parse(
+                payload_bytes=int(value) if value is not None else 64 * 1024,
+                placement=placement,
+            ))
+        elif kind == "decompress":
+            stages.append(decompress(
+                ratio=value if value is not None else 2.0, placement=placement
+            ))
+        else:
+            stages.append(augment(
+                selectivity=value if value is not None else 0.5,
+                placement=placement,
+            ))
+    if not stages:
+        raise ConfigError(f"no stages in {text!r}")
+    return tuple(stages)
+
+
+# -- pipeline arithmetic ------------------------------------------------------
+
+def pipeline_bytes(stages: tuple, input_bytes: int) -> list[int]:
+    """Byte sizes at every pipeline cut: ``[input, after s0, ...]``.
+
+    ``result[k]`` is the record size shipped when the boundary sits
+    before stage ``k`` (k = len(stages) means the fully-transformed
+    output).
+    """
+    sizes = [int(input_bytes)]
+    for stage in stages:
+        sizes.append(stage.cost.output_bytes(sizes[-1]))
+    return sizes
+
+
+def pipeline_cost(stages: tuple, input_bytes: int) -> list[float]:
+    """Per-stage CPU seconds for one record entering at ``input_bytes``."""
+    sizes = pipeline_bytes(stages, input_bytes)
+    return [s.cost.cost(sizes[i]) for i, s in enumerate(stages)]
+
+
+@dataclass(frozen=True)
+class PushdownPolicy:
+    """Chooses the storage/worker boundary for a stage pipeline.
+
+    ``mode``:
+
+    * ``"worker"`` — ship raw bytes, run every ``auto`` stage on the
+      transform tier (boundary as early as pins allow);
+    * ``"storage"`` — push every ``auto`` stage onto the storage node
+      (boundary as late as pins allow);
+    * ``"cost"`` — minimize the analytic per-sample cost described in
+      the module docstring.
+
+    ``storage_core_budget`` / ``worker_core_budget`` are the core
+    counts one job's work traverses on each tier (a keyed storage core
+    vs an affinity lane's cores) — the knobs that make pushdown *lose*
+    once storage CPU, not the wire, is the scarce resource.
+    """
+
+    mode: str = "cost"
+    #: Fabric bandwidth used for the wire term, bytes/second.
+    fabric_bandwidth: float = 6e9
+    storage_core_budget: float = 1.0
+    worker_core_budget: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("worker", "storage", "cost"):
+            raise ConfigError(f"unknown pushdown mode {self.mode!r}")
+        for name in ("fabric_bandwidth", "storage_core_budget",
+                     "worker_core_budget"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value <= 0:
+                raise ConfigError(f"pushdown {name} must be > 0")
+
+    def _legal_range(self, stages: tuple) -> tuple[int, int]:
+        """Boundary positions allowed by the per-stage placement pins.
+
+        A ``storage`` pin forces the boundary after that stage; a
+        ``worker`` pin forces it at or before.  A storage pin *after* a
+        worker pin would need the record shipped back — rejected.
+        """
+        lo, hi = 0, len(stages)
+        for k, stage in enumerate(stages):
+            if stage.placement == "storage":
+                lo = max(lo, k + 1)
+            elif stage.placement == "worker":
+                hi = min(hi, k)
+        if lo > hi:
+            raise ConfigError(
+                "stage placements are contradictory: a storage-pinned stage "
+                "follows a worker-pinned one (records never ship backwards)"
+            )
+        return lo, hi
+
+    def boundary(self, stages: tuple, input_bytes: int) -> int:
+        """The chosen boundary: stages[:k] run on storage, stages[k:] on
+        the transform tier."""
+        lo, hi = self._legal_range(stages)
+        if self.mode == "worker":
+            return lo
+        if self.mode == "storage":
+            return hi
+        sizes = pipeline_bytes(stages, input_bytes)
+        costs = pipeline_cost(stages, input_bytes)
+        best_k, best = lo, None
+        for k in range(lo, hi + 1):
+            estimate = (
+                sum(costs[:k]) / self.storage_core_budget
+                + sizes[k] / self.fabric_bandwidth
+                + sum(costs[k:]) / self.worker_core_budget
+                # The transform tier ships its output separately; at
+                # full pushdown the boundary ship IS the delivery.
+                + (sizes[-1] / self.fabric_bandwidth
+                   if k < len(stages) else 0.0)
+            )
+            if best is None or estimate < best:
+                best_k, best = k, estimate
+        return best_k
+
+
+def stages_with_packing(stages: tuple, packed_ratio: float) -> tuple:
+    """Prefix a FanStore-style packed format onto a stage pipeline.
+
+    Packed/compressed on-node formats act as a selectivity multiplier:
+    the record leaves the device ``packed_ratio`` times smaller and an
+    unpack stage (selectivity = ratio) must run somewhere before the
+    rest of the pipeline.  Pushing the *rest* of the pipeline down now
+    pays double — the unpack inflation happens on the storage node too.
+    """
+    if packed_ratio == 1.0:
+        return tuple(stages)
+    ratio = decompression_selectivity(packed_ratio)
+    unpack = decompress(ratio)
+    return (replace(unpack, name=f"unpack:{ratio:g}"),) + tuple(stages)

@@ -1,0 +1,99 @@
+"""Decode-cost edges in :mod:`repro.data.formats`.
+
+The transform tier's stage arithmetic is built on
+:class:`DecodeCostModel` and the two selectivity helpers; these tests
+pin the edge behaviour the pushdown policy depends on: a zero-byte
+record still pays the fixed cost, selectivity > 1 inflates output
+bytes, and compression ratios outside [1, inf) are rejected instead of
+silently dividing byte budgets downstream.
+"""
+
+import math
+
+import pytest
+
+from repro.data.formats import (
+    TFRECORD_HEADER_BYTES,
+    DecodeCostModel,
+    decompression_selectivity,
+    tfrecord_parse_selectivity,
+)
+from repro.errors import ConfigError
+
+
+class TestDecodeCostModel:
+    def test_zero_byte_record_pays_fixed(self):
+        model = DecodeCostModel(per_byte=1e-9, fixed=2e-6, selectivity=0.5)
+        assert model.cost(0) == 2e-6
+        assert model.output_bytes(0) == 0
+
+    def test_cost_is_affine_in_input_bytes(self):
+        model = DecodeCostModel(per_byte=2e-9, fixed=1e-6)
+        assert model.cost(1000) == pytest.approx(1e-6 + 2e-6)
+
+    def test_selectivity_above_one_inflates(self):
+        model = DecodeCostModel(selectivity=2.5)
+        assert model.output_bytes(1000) == 2500
+        assert model.output_bytes(1000) > 1000
+
+    def test_output_bytes_rounds_to_int(self):
+        model = DecodeCostModel(selectivity=0.333)
+        out = model.output_bytes(10)
+        assert isinstance(out, int)
+        assert out == 3
+
+    def test_zero_selectivity_is_a_filter(self):
+        model = DecodeCostModel(per_byte=1e-9, fixed=1e-6, selectivity=0.0)
+        assert model.output_bytes(4096) == 0
+        assert model.cost(4096) > 0  # the filter still reads its input
+
+    def test_negative_record_size_rejected(self):
+        model = DecodeCostModel()
+        with pytest.raises(ConfigError):
+            model.cost(-1)
+        with pytest.raises(ConfigError):
+            model.output_bytes(-1)
+
+    @pytest.mark.parametrize("field", ["per_byte", "fixed", "selectivity"])
+    def test_negative_parameters_rejected(self, field):
+        with pytest.raises(ConfigError):
+            DecodeCostModel(**{field: -0.1})
+
+    @pytest.mark.parametrize("bad", [math.inf, math.nan])
+    def test_non_finite_parameters_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            DecodeCostModel(per_byte=bad)
+
+
+class TestDecompressionSelectivity:
+    def test_ratio_is_the_selectivity(self):
+        assert decompression_selectivity(2.0) == 2.0
+        assert decompression_selectivity(1.0) == 1.0
+
+    @pytest.mark.parametrize("bad", [0.5, 0.0, -2.0])
+    def test_ratio_below_one_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            decompression_selectivity(bad)
+
+    @pytest.mark.parametrize("bad", [math.inf, math.nan])
+    def test_non_finite_ratio_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            decompression_selectivity(bad)
+
+
+class TestTFRecordParseSelectivity:
+    def test_zero_payload_is_all_framing(self):
+        assert tfrecord_parse_selectivity(0) == 0.0
+
+    def test_strips_exactly_the_header(self):
+        payload = 64 * 1024
+        sel = tfrecord_parse_selectivity(payload)
+        assert sel == payload / (payload + TFRECORD_HEADER_BYTES)
+        assert 0.0 < sel < 1.0
+
+    def test_approaches_one_for_large_records(self):
+        assert tfrecord_parse_selectivity(1 << 30) > 0.999999
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            tfrecord_parse_selectivity(-16)
