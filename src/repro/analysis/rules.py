@@ -17,7 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-__all__ = ["Rule", "RULES", "RULES_BY_ID", "Finding"]
+__all__ = [
+    "Rule",
+    "RULES",
+    "RULES_BY_ID",
+    "FLOW_RULES",
+    "FLOW_RULES_BY_ID",
+    "ALL_RULES_BY_ID",
+    "Finding",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +127,119 @@ RULES: Tuple[Rule, ...] = (
 )
 
 RULES_BY_ID = {r.id: r for r in RULES}
+
+
+# ---------------------------------------------------------------------------
+# simflow rule families (whole-program dataflow + lifecycle protocols).
+#
+# SF2xx — interprocedural taint: nondeterministic values (wall clock,
+# entropy, id()/hash(), unblessed RNGs) laundered through helpers,
+# returns, default arguments, or attribute stores until they reach a
+# determinism-critical sink.  The syntactic SL rules only see the direct
+# call site; these follow the value.
+#
+# SF3xx — lifecycle protocols: per-object state machines (acquire must
+# pair with release on every exit path) declared in
+# :data:`repro.analysis.simflow.protocols.LIFECYCLE_PROTOCOLS`.
+# ---------------------------------------------------------------------------
+
+FLOW_RULES: Tuple[Rule, ...] = (
+    Rule(
+        id="SF200",
+        name="taint-to-event",
+        summary="nondeterministic value flows into an event post / sim delay",
+        hint=(
+            "the delay fed to env.timeout()/hold()/post derives from a "
+            "wall-clock, entropy, or hash source; derive it from sim "
+            "state or a blessed repro.sim.rng substream instead"
+        ),
+    ),
+    Rule(
+        id="SF201",
+        name="taint-to-state",
+        summary="nondeterministic value stored into simulation object state",
+        hint=(
+            "an attribute of a sim-coupled object is assigned a value "
+            "derived from wall clock/entropy/id()/hash(); sim state must "
+            "derive from seed state only"
+        ),
+    ),
+    Rule(
+        id="SF202",
+        name="taint-to-ordering",
+        summary="nondeterministic value used as an ordering key",
+        hint=(
+            "a sort/min/max key derives from id()/hash()/entropy, so the "
+            "order varies per process; key on a stable field instead"
+        ),
+    ),
+    Rule(
+        id="SF203",
+        name="taint-to-rng",
+        summary="nondeterministic value passed to repro.sim.rng(...)",
+        hint=(
+            "rng() name/seed material derives from a nondeterministic "
+            "source, so the substream differs per process; pass explicit "
+            "constants or config-derived seeds"
+        ),
+    ),
+    Rule(
+        id="SF300",
+        name="leaked-resource-slot",
+        summary="Resource slot acquired but not released on every exit path",
+        hint=(
+            "a request() slot escapes on an early return/raise without "
+            "release()/cancel(); wrap in try/finally or use "
+            "`yield from resource.hold(t)`"
+        ),
+    ),
+    Rule(
+        id="SF301",
+        name="unfinished-span",
+        summary="tracer span opened but not finished on every exit path",
+        hint=(
+            "a tracer.start() span is dropped on an early return/raise "
+            "without finish(); close it in a finally or hand ownership "
+            "off explicitly (store it on the request/object)"
+        ),
+    ),
+    Rule(
+        id="SF302",
+        name="leaked-transfer-credit",
+        summary="transfer-engine credit acquired but not returned on every path",
+        hint=(
+            "a destination credit (bounded receive buffer) is held past "
+            "an early exit; release it in the try/finally around the "
+            "fabric transfer"
+        ),
+    ),
+    Rule(
+        id="SF303",
+        name="unbalanced-ledger-charge",
+        summary="chunk-ledger charge not undone on an exceptional exit",
+        hint=(
+            "a ChunkLedger charge()/reserve() is followed by a raise "
+            "without uncharge()/cancel(); quota accounting must stay "
+            "balanced when the insert fails"
+        ),
+    ),
+    Rule(
+        id="SF304",
+        name="reset-without-generation-bump",
+        summary="in-flight state cleared without bumping the qpair generation",
+        hint=(
+            "aborting in-flight requests (_live.clear()/connected=False) "
+            "without `self._generation += 1` lets stale device "
+            "completions be delivered as fresh; bump the generation in "
+            "the same method"
+        ),
+    ),
+)
+
+FLOW_RULES_BY_ID = {r.id: r for r in FLOW_RULES}
+
+#: Combined registry — what suppression comments may legally name.
+ALL_RULES_BY_ID = {**RULES_BY_ID, **FLOW_RULES_BY_ID}
 
 
 @dataclass(frozen=True)

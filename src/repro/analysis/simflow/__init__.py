@@ -1,0 +1,37 @@
+"""simflow — whole-program dataflow & lifecycle-protocol analysis.
+
+Three passes over ``src/repro``:
+
+1. :mod:`.graph` — project-wide module/symbol/call graph;
+2. :mod:`.taint` — interprocedural taint from nondeterminism sources to
+   determinism sinks (SF200–SF203);
+3. :mod:`.protocols` — per-object lifecycle state machines
+   (SF300–SF304) from a declarative registry.
+
+Entry point: :func:`run_simflow`.  Baseline/SARIF plumbing lives in
+:mod:`.baseline` and :mod:`.sarif`.
+"""
+
+from .baseline import (
+    diff_against_baseline,
+    fingerprint_findings,
+    load_baseline,
+    write_baseline,
+)
+from .driver import FlowReport, run_simflow
+from .graph import ProjectGraph
+from .protocols import LIFECYCLE_PROTOCOLS, PAIRED_MUTATIONS
+from .sarif import to_sarif
+
+__all__ = [
+    "run_simflow",
+    "FlowReport",
+    "ProjectGraph",
+    "LIFECYCLE_PROTOCOLS",
+    "PAIRED_MUTATIONS",
+    "fingerprint_findings",
+    "load_baseline",
+    "write_baseline",
+    "diff_against_baseline",
+    "to_sarif",
+]

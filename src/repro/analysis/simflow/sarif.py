@@ -1,0 +1,59 @@
+"""SARIF 2.1.0 export so editors/code-scanning UIs can ingest findings."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..rules import ALL_RULES_BY_ID, Finding
+
+__all__ = ["to_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(findings: Sequence[Finding], tool_version: str = "1.0") -> dict:
+    seen_rules: List[str] = []
+    for f in findings:
+        if f.rule_id not in seen_rules:
+            seen_rules.append(f.rule_id)
+    rules = []
+    for rid in sorted(seen_rules):
+        rule = ALL_RULES_BY_ID.get(rid)
+        entry: Dict[str, object] = {"id": rid}
+        if rule is not None:
+            entry["name"] = rule.name
+            entry["shortDescription"] = {"text": rule.summary}
+            entry["help"] = {"text": rule.hint}
+        rules.append(entry)
+    results = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col,
+                                             f.rule_id)):
+        results.append({
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                    "region": {"startLine": f.line, "startColumn": f.col},
+                },
+            }],
+        })
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simflow",
+                    "informationUri": "https://example.invalid/simflow",
+                    "version": tool_version,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }

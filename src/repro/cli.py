@@ -221,6 +221,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="files or directories (default: src/repro)")
     p_lint.add_argument("--rules", action="store_true",
                         help="print the rule table and exit")
+    p_lint.add_argument("--flow", action="store_true",
+                        help="run simflow (whole-program dataflow + "
+                             "lifecycle protocols, SF2xx/SF3xx)")
+    p_lint.add_argument("--changed", nargs="*", default=None,
+                        metavar="FILE",
+                        help="[--flow] pre-commit mode: analyze only the "
+                             "import-closure of these changed files "
+                             "(default: git diff vs HEAD)")
+    p_lint.add_argument("--baseline", type=pathlib.Path, default=None,
+                        metavar="JSON",
+                        help="[--flow] fail only on findings absent from "
+                             "this baseline file")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="[--flow] rewrite the baseline from current "
+                             "findings (keeps existing reasons)")
+    p_lint.add_argument("--sarif", type=pathlib.Path, default=None, metavar="JSON",
+                        help="[--flow] also write findings as SARIF 2.1.0")
 
     p_san = sub.add_parser(
         "sanitize",
@@ -499,14 +516,79 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis import RULES, lint_paths, render_findings
 
         if args.rules:
-            for rule in RULES:
+            from .analysis.rules import FLOW_RULES
+
+            for rule in RULES + FLOW_RULES:
                 print(f"{rule.id} [{rule.name}] {rule.summary}")
                 print(f"    fix: {rule.hint}")
             return 0
         paths = args.paths or ["src/repro"]
-        findings = lint_paths(paths)
-        print(render_findings(findings))
-        return 1 if findings else 0
+        if not args.flow:
+            findings = lint_paths(paths)
+            print(render_findings(findings))
+            return 1 if findings else 0
+
+        import json
+
+        from .analysis.simflow import (
+            diff_against_baseline,
+            load_baseline,
+            run_simflow,
+            to_sarif,
+            write_baseline,
+        )
+
+        changed = args.changed
+        if changed is not None and not changed:
+            # Bare --changed: ask git for the modified files.
+            import subprocess
+
+            out = subprocess.run(
+                ["git", "diff", "--name-only", "HEAD", "--", "*.py"],
+                capture_output=True, text=True, check=False,
+            ).stdout
+            changed = [ln for ln in out.splitlines() if ln.strip()]
+            if not changed:
+                print("flow: no changed python files")
+                return 0
+        report = run_simflow(paths, changed=changed)
+        for path, err in report.parse_errors:
+            print(f"{path}: parse error: {err}", file=sys.stderr)
+        if args.sarif is not None:
+            args.sarif.parent.mkdir(parents=True, exist_ok=True)
+            args.sarif.write_text(
+                json.dumps(to_sarif(report.findings), indent=2) + "\n"
+            )
+            print(f"wrote {args.sarif}", file=sys.stderr)
+        if args.update_baseline:
+            target = args.baseline or pathlib.Path("simflow-baseline.json")
+            prev = load_baseline(target)
+            n = write_baseline(target, report.findings, prev)
+            print(f"flow: baseline rewritten: {n} findings -> {target}")
+            return 0
+        baseline = load_baseline(args.baseline) if args.baseline else {}
+        new, stale = diff_against_baseline(report.findings, baseline)
+        for fp, f in new:
+            print(f.render())
+            print(f"    fingerprint: {fp}")
+        known = len(report.findings) - len(new)
+        print(
+            f"flow: {len(report.analyzed_files)} files, "
+            f"{len(report.findings)} findings "
+            f"({len(new)} new, {known} baselined, "
+            f"{report.suppressed} suppressed)"
+        )
+        if changed is None:
+            # Pruned runs can't see the whole tree, so absence there
+            # does not mean an entry went stale.
+            for fp in stale:
+                entry = baseline[fp]
+                print(
+                    f"flow: stale baseline entry {fp} "
+                    f"({entry.get('rule')} {entry.get('path')}) — "
+                    "remove it", file=sys.stderr,
+                )
+        return 1 if new else 0
 
     if args.command == "sanitize":
         import json
