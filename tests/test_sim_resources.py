@@ -22,11 +22,14 @@ class TestResource:
         def proc(env):
             req = res.request()
             yield req
-            return env.now
+            granted_at = env.now
+            assert res.count == 1  # held exactly while we own the slot
+            res.release(req)
+            return granted_at
 
         p = env.process(proc(env))
         assert env.run(until=p) == 0.0
-        assert res.count == 1
+        assert res.count == 0  # the slot went back on every path
 
     def test_fifo_ordering_under_contention(self, env):
         res = Resource(env, capacity=1)
