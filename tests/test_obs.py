@@ -52,6 +52,10 @@ class TestTracer:
         assert child.span_id != parent.span_id
         assert child.parent_id == parent.span_id
         assert parent.parent_id is None
+        child.finish()
+        parent.finish()
+        # Identity survives the close — ids are assigned at start().
+        assert child.parent_id == parent.span_id
 
     def test_finish_is_idempotent(self, env):
         tracer = Tracer(env)
