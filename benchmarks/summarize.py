@@ -147,6 +147,55 @@ SUMMARIZERS = {
 }
 
 
+def analysis_stats():
+    """Static-analysis posture row: simlint + simflow over the tree.
+
+    Returns ``(verdict, headline, detail)`` like the artifact
+    summarizers, or ``None`` when ``repro`` is not importable (the
+    script still renders the benchmark table without PYTHONPATH=src).
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.analysis import lint_paths
+        from repro.analysis.simflow import (
+            diff_against_baseline, load_baseline, run_simflow)
+    except ImportError:
+        return None
+    finally:
+        sys.path.pop(0)
+
+    # Fingerprints embed repo-relative paths, so run from the root.
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        sl = lint_paths(["src/repro"])
+        flow = run_simflow(["src/repro", "tests", "benchmarks"])
+        baseline = load_baseline("simflow-baseline.json")
+        new, stale = diff_against_baseline(flow.findings, baseline)
+    finally:
+        os.chdir(cwd)
+
+    by_rule = {}
+    for f in flow.findings:
+        by_rule[f.rule_id] = by_rule.get(f.rule_id, 0) + 1
+    verdict = not sl and not new and not stale
+    headline = (
+        f"simlint {len(sl)} finding(s) on src/repro; simflow "
+        f"{len(flow.analyzed_files)} files, {len(flow.findings)} "
+        f"finding(s) ({len(new)} new, {len(baseline)} baselined, "
+        f"{flow.suppressed} suppressed)"
+    )
+    detail = ["| metric | value |", "|---|---|",
+              f"| simflow files analyzed | {len(flow.analyzed_files)} |",
+              f"| baseline entries | {len(baseline)} |",
+              f"| new vs baseline | {len(new)} |",
+              f"| stale baseline entries | {len(stale)} |",
+              f"| inline suppressions honored | {flow.suppressed} |"]
+    for rule in sorted(by_rule):
+        detail.append(f"| findings: {rule} | {by_rule[rule]} |")
+    return verdict, headline, detail
+
+
 def render(root):
     """The full markdown page for every artifact under ``root``."""
     paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
@@ -164,6 +213,12 @@ def render(root):
         rows.append((name, verdict, headline))
         if detail:
             sections.append((name, detail))
+
+    stats = analysis_stats()
+    if stats is not None:
+        verdict, headline, detail = stats
+        rows.append(("static-analysis", verdict, headline))
+        sections.append(("static-analysis", detail))
 
     mark = {True: "PASS", False: "FAIL", None: "?"}
     lines = [
@@ -197,8 +252,9 @@ def main(argv=None):
         fh.write(page)
     for name, verdict, _ in rows:
         print(f"  {name}: {'PASS' if verdict else '?' if verdict is None else 'FAIL'}")
-    print(f"wrote {out} ({len(rows)} artifact(s))")
-    if not rows:
+    bench_rows = [r for r in rows if r[0] != "static-analysis"]
+    print(f"wrote {out} ({len(bench_rows)} artifact(s))")
+    if not bench_rows:
         print("no BENCH_*.json artifacts found", file=sys.stderr)
         return 1
     return 0

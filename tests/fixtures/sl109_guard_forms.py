@@ -1,0 +1,74 @@
+"""SL109 guard-form regression fixture.
+
+The top half holds every *legitimate* guard idiom — including the forms
+the original syntactic check flagged as false positives (ternary,
+short-circuit ``and``, guard-by-early-return) and the ones it always
+recognized (plain ``if``, ``None``-check + ``.enabled``, walrus).  None
+of them may produce SL109.  The bottom half holds the forms that must
+STILL be flagged; ``tests/test_simlint.py`` asserts their exact lines.
+
+NOT importable as a test — it exists only as linter input.
+"""
+
+from repro.sim import Environment  # sim-coupled module
+
+
+# -- legitimate guard forms: zero SL109 findings -----------------------------
+
+def plain_guard(self):
+    if self.tracer.enabled:
+        self.tracer.instant("tick", track="t")
+
+
+def none_check_and_enabled(tracer):
+    # The ISSUE's named miss: `is not None` plus `.enabled` in one test.
+    if tracer is not None and tracer.enabled:
+        tracer.instant("tick", track="t")
+
+
+def walrus_guard(get_tracer):
+    if (tracer := get_tracer()) is not None and tracer.enabled:
+        tracer.instant("tick", track="t")
+
+
+def ternary_guard(tracer, env: Environment):
+    span = tracer.start("op", track="t") if tracer.enabled else None
+    return span
+
+
+def short_circuit_guard(tracer):
+    tracer.enabled and tracer.instant("tick", track="t")
+
+
+def early_return_guard(self):
+    if not self.tracer.enabled:
+        return
+    self.tracer.instant("tick", track="t")
+
+
+def negated_else_guard(tracer):
+    if not tracer.enabled:
+        pass
+    else:
+        tracer.instant("tick", track="t")
+
+
+# -- forms that must still be flagged ----------------------------------------
+
+def unguarded(self):
+    self.tracer.instant("tick", track="t")      # line 59: SL109
+
+
+def wrong_boolop_order(tracer):
+    tracer.instant("tick", track="t") and tracer.enabled  # line 63: SL109
+
+
+def negated_body_call(tracer):
+    if not tracer.enabled:
+        tracer.instant("tick", track="t")       # line 68: SL109
+
+
+def guard_without_return(self):
+    if not self.tracer.enabled:
+        pass
+    self.tracer.instant("tick", track="t")      # line 74: SL109

@@ -317,6 +317,85 @@ def test_sl109_other_methods_not_flagged():
     assert ids(src) == []
 
 
+def test_sl109_none_check_and_enabled_is_clean():
+    # Historical false positive: `is not None and .enabled` in one test.
+    src = """
+    def f(tracer):
+        if tracer is not None and tracer.enabled:
+            tracer.instant("tick", track="t")
+    """
+    assert ids(src) == []
+
+
+def test_sl109_walrus_guard_is_clean():
+    src = """
+    def f(get_tracer):
+        if (tracer := get_tracer()) is not None and tracer.enabled:
+            tracer.instant("tick", track="t")
+    """
+    assert ids(src) == []
+
+
+def test_sl109_ternary_guard_is_clean():
+    src = """
+    def f(tracer):
+        span = tracer.start("op", track="t") if tracer.enabled else None
+        return span
+    """
+    assert ids(src) == []
+
+
+def test_sl109_short_circuit_and_is_clean():
+    src = """
+    def f(tracer):
+        tracer.enabled and tracer.instant("tick", track="t")
+    """
+    assert ids(src) == []
+
+
+def test_sl109_early_return_guard_is_clean():
+    src = """
+    def f(self):
+        if not self.tracer.enabled:
+            return
+        self.tracer.instant("tick", track="t")
+    """
+    assert ids(src) == []
+
+
+def test_sl109_wrong_boolop_order_flagged():
+    # Call evaluates before the guard: the guard does nothing.
+    src = """
+    def f(tracer):
+        tracer.instant("tick", track="t") and tracer.enabled
+    """
+    assert ids(src) == ["SL109"]
+
+
+def test_sl109_guard_without_return_flagged():
+    src = """
+    def f(self):
+        if not self.tracer.enabled:
+            pass
+        self.tracer.instant("tick", track="t")
+    """
+    assert ids(src) == ["SL109"]
+
+
+def test_sl109_guard_forms_fixture_exact_lines():
+    """tests/fixtures/sl109_guard_forms.py: every legitimate guard idiom
+    is clean; the four broken forms are flagged at their exact lines."""
+    findings = lint_paths(["tests/fixtures/sl109_guard_forms.py"])
+    sl109 = [(f.line, f.rule_id) for f in findings if f.rule_id == "SL109"]
+    assert sl109 == [
+        (59, "SL109"),
+        (63, "SL109"),
+        (68, "SL109"),
+        (74, "SL109"),
+    ]
+    assert all(f.rule_id == "SL109" for f in findings)
+
+
 # ---------------------------------------------------------------------------
 # SL110 — blocking waits
 # ---------------------------------------------------------------------------
