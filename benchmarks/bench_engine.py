@@ -73,6 +73,77 @@ def timeout_storm(procs: int, ticks: int) -> tuple[float, int]:
     return env.now, env._eid
 
 
+def event_churn(procs: int, rounds: int) -> tuple[float, int]:
+    """Condition-tree allocation churn: AllOf/AnyOf over fresh timeouts.
+
+    Every round allocates a small condition tree (three Timeouts plus an
+    AllOf or AnyOf), fires it, and drops it — the allocation pattern the
+    ``__slots__`` layout on Event/Condition/AllOf/AnyOf exists to make
+    cheap.  The instance-size deltas themselves are recorded separately
+    (see ``slots_layout`` in the JSON); this measures the wall-clock
+    side of the same change.
+    """
+    env = Environment()
+
+    def worker(env: Environment, i: int):
+        for k in range(rounds):
+            t1 = env.timeout((1 + (i + k) % 7) * 1e-6)
+            t2 = env.timeout((1 + (i * 3 + k) % 11) * 1e-6)
+            t3 = env.timeout((1 + (i + 5 * k) % 13) * 1e-6)
+            if k % 2 == 0:
+                yield env.all_of([t1, t2, t3])
+            else:
+                yield env.any_of([t1, t2, t3])
+
+    for i in range(procs):
+        env.process(worker(env, i))
+    env.run()
+    return env.now, env._eid
+
+
+def slots_layout() -> dict:
+    """Per-instance memory of the slotted event classes vs a dict layout.
+
+    ``Event``/``Condition``/``AllOf``/``AnyOf`` all declare
+    ``__slots__``; this records the resulting per-instance size next to
+    a shape-identical ``__dict__``-based control so the saving the
+    heap-churn benchmark rides on is pinned in the artifact, not just
+    claimed in a commit message.
+    """
+    import sys as _sys
+
+    from repro.sim.engine import AllOf, AnyOf, Condition, Event
+
+    class DictEvent:  # the pre-__slots__ layout: same attrs, dict-backed
+        def __init__(self, env) -> None:
+            self.env = env
+            self.callbacks = []
+            self._value = None
+            self._ok = None
+            self._defused = False
+
+    env = Environment()
+    slotted = Event(env)
+    control = DictEvent(env)
+    slotted_size = _sys.getsizeof(slotted)
+    control_size = _sys.getsizeof(control) + _sys.getsizeof(control.__dict__)
+    instances = {
+        "Event": Event(env),
+        "Condition": Condition(env, []),
+        "AllOf": AllOf(env, []),
+        "AnyOf": AnyOf(env, []),
+    }
+    return {
+        "event_slotted_bytes": slotted_size,
+        "event_dict_control_bytes": control_size,
+        "bytes_saved_per_event": control_size - slotted_size,
+        "classes_slotted": sorted(
+            name for name, obj in instances.items()
+            if not hasattr(obj, "__dict__")
+        ),
+    }
+
+
 def resource_contention(procs: int, rounds: int, capacity: int) -> tuple[float, int]:
     """Request/grant churn on one small FIFO resource."""
     env = Environment()
@@ -166,12 +237,21 @@ def run(quick: bool) -> dict:
     scale = 4 if quick else 1
     micros = {
         "timeout_storm": lambda: timeout_storm(200 // scale, 200),
+        "event_churn": lambda: event_churn(200 // scale, 150),
         "resource_contention": lambda: resource_contention(
             300 // scale, 100, capacity=4
         ),
         "qpair_burst": lambda: qpair_burst(4000 // scale, depth=64),
     }
     out: dict = {"quick": quick, "benchmarks": {}, "fig06": {"cases": {}}}
+    out["slots_layout"] = slots_layout()
+    layout = out["slots_layout"]
+    print(
+        f"slots layout           Event {layout['event_slotted_bytes']} B "
+        f"vs dict control {layout['event_dict_control_bytes']} B "
+        f"({layout['bytes_saved_per_event']} B saved/event; slotted: "
+        f"{', '.join(layout['classes_slotted'])})"
+    )
 
     for name, fn in micros.items():
         ref_s, (ref_sim, ref_events), opt_s, (opt_sim, opt_events) = _time_pair(

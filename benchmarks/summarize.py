@@ -26,6 +26,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _fmt(value, spec=",.0f"):
+    if value is None:
+        return "—"  # a missing key renders as a gap, not "None"
     try:
         return format(value, spec)
     except (TypeError, ValueError):
@@ -48,13 +50,18 @@ def summarize_engine(data):
     )
     detail = ["| case | reference (s) | optimized (s) | speedup |",
               "|---|---|---|---|"]
-    for name, m in micro.items():
+    # Sorted so the page is stable across artifact regenerations that
+    # merely reorder (or omit) cases.
+    for name in sorted(micro):
+        m = micro[name]
         detail.append(
             f"| {name} | {_fmt(m.get('reference_s'), '.3f')} "
             f"| {_fmt(m.get('optimized_s'), '.3f')} "
             f"| {_fmt(m.get('speedup'), '.2f')}x |"
         )
-    for name, case in fig06.get("cases", {}).items():
+    cases = fig06.get("cases", {})
+    for name in sorted(cases):
+        case = cases[name]
         detail.append(
             f"| fig06 {name} | {_fmt(case.get('reference_s'), '.3f')} "
             f"| {_fmt(case.get('optimized_s'), '.3f')} "
@@ -133,6 +140,38 @@ def summarize_xform(data):
     return data.get("ok"), headline, detail
 
 
+def summarize_scale(data):
+    hybrid = data.get("hybrid", {})
+    equiv = data.get("equivalence") or {}
+    tagged = hybrid.get("tagged", {})
+    headline = (
+        f"{_fmt(hybrid.get('users'))} users/day in "
+        f"{_fmt(data.get('hybrid_wall_s'), '.1f')}s, "
+        f"{_fmt(hybrid.get('elide_ratio', 0) * 100, '.1f')}% of "
+        f"{_fmt(hybrid.get('bulk_requests'))} bulk requests elided, "
+        f"{_fmt(data.get('speedup'), '.0f')}x vs extrapolated all-event, "
+        f"equivalence {'PASS' if equiv.get('ok') else 'unchecked' if not equiv else 'FAIL'}"
+    )
+    detail = ["| metric | value |", "|---|---|",
+              f"| users | {_fmt(hybrid.get('users'))} |",
+              f"| day (sim s) | {_fmt(hybrid.get('day'))} |",
+              f"| hybrid wall (s) | {_fmt(data.get('hybrid_wall_s'), '.2f')} |",
+              f"| events scheduled | {_fmt(hybrid.get('events_scheduled'))} |",
+              f"| bulk requests | {_fmt(hybrid.get('bulk_requests'))} |",
+              f"| events-elided ratio | {_fmt(hybrid.get('elide_ratio'), '.4f')} |",
+              f"| extrapolated all-event wall (s) | {_fmt(data.get('extrapolated_event_wall_s'), '.0f')} |",
+              f"| speedup vs all-event | {_fmt(data.get('speedup'), '.0f')}x |",
+              f"| tagged requests | {_fmt(tagged.get('count'))} |",
+              f"| tagged p50 / p99 (ms) | {_fmt((tagged.get('p50') or 0) * 1e3, '.3f')} / "
+              f"{_fmt((tagged.get('p99') or 0) * 1e3, '.3f')} |"]
+    if equiv:
+        detail.append(
+            f"| equivalence digests | order {str(equiv.get('order_digest'))[:12]}, "
+            f"latency {str(equiv.get('latency_digest'))[:12]} |"
+        )
+    return data.get("ok"), headline, detail
+
+
 def summarize_generic(data):
     verdict = data.get("ok")
     keys = ", ".join(sorted(data)[:8])
@@ -144,6 +183,7 @@ SUMMARIZERS = {
     "tenancy": summarize_tenancy,
     "cluster": summarize_cluster,
     "xform": summarize_xform,
+    "scale": summarize_scale,
 }
 
 

@@ -124,6 +124,17 @@ RULES: Tuple[Rule, ...] = (
             "`yield env.timeout(delay)` instead"
         ),
     ),
+    Rule(
+        id="SL111",
+        name="fluid-epoch-env-now",
+        summary="env.now read inside a fluid epoch body (t0/t1 function)",
+        hint=(
+            "fluid epoch bodies advance closed-form state over an interval "
+            "the caller fixed; reading env.now couples the charge to when "
+            "the epoch happens to run, breaking hybrid/event equivalence — "
+            "take the epoch bounds (t0, t1) as arguments instead"
+        ),
+    ),
 )
 
 RULES_BY_ID = {r.id: r for r in RULES}

@@ -46,6 +46,7 @@ __all__ = [
     "default_workload",
     "cluster_crash_workload",
     "xform_crash_workload",
+    "scale_hybrid_workload",
 ]
 
 
@@ -277,6 +278,35 @@ def xform_crash_workload() -> Dict[str, Any]:
         witness[f"tier.{key}"] = value
     for lane, count in report.routed.items():
         witness[f"routed.{lane}"] = count
+    return witness
+
+
+def scale_hybrid_workload() -> Dict[str, Any]:
+    """The hybrid-fidelity sweep target: fluid lanes + tagged flows.
+
+    A downscaled diurnal day with a lane outage and cohort churn, so
+    epoch-boundary anchor moves, forced event-fidelity windows, and the
+    tagged event processes all run under perturbed tiebreaks.  The
+    witness is the tagged order/latency digest pair plus the exact bulk
+    counters — a tiebreak-dependent charge or impulse would diverge in
+    either the digests or the integer byte totals.
+    """
+    from ..sim.fluid import ScaleSpec, run_scale
+
+    spec = ScaleSpec(users=2000, day=600.0)
+    report = run_scale(spec, mode="hybrid")
+    witness: Dict[str, Any] = {
+        "sim_time": float(report.sim_time),
+        "order_digest": report.order_digest,
+        "latency_digest": report.latency_digest,
+        "bulk_requests": int(report.bulk_requests),
+        "bulk_bytes": int(report.bulk_bytes),
+        "fluid_requests": int(report.fluid_requests),
+        "tagged_n": len(report.tagged),
+    }
+    for lane in report.lanes:
+        witness[f"lane.{lane['name']}.requests"] = lane["requests"]
+        witness[f"lane.{lane['name']}.bytes"] = lane["bytes"]
     return witness
 
 

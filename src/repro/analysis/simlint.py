@@ -24,6 +24,12 @@ Scope rules (see :mod:`repro.analysis.rules` for the table):
 * SL110 — blocking waits (``time.sleep``, ``os.wait``, ``select.select``
   with a timeout, ...) stall the host thread, not simulated time; any
   retry/backoff loop must wait via ``yield env.timeout(delay)``.
+* SL111 — ``env.now`` read inside a fluid epoch body (any function
+  taking both ``t0`` and ``t1`` parameters, the hybrid-fidelity epoch
+  signature); only flagged in sim-coupled modules.  Epoch bodies charge
+  a closed interval the caller fixed — reading the live clock couples
+  the charge to when the epoch happens to run, which breaks the
+  hybrid/event equivalence obligation.
 
 Suppressions are per-line and must carry a reason::
 
@@ -231,6 +237,8 @@ class _Linter(ast.NodeVisitor):
         #: ``self.<attr>`` names assigned a set anywhere in the class.
         self._set_attrs: Set[str] = set()
         self._obs_guard_depth = 0
+        #: nesting depth of fluid epoch bodies (functions taking t0+t1).
+        self._epoch_depth = 0
 
     # -- helpers ---------------------------------------------------------------
     def _emit(self, node: ast.AST, rule_id: str, message: str) -> None:
@@ -397,10 +405,37 @@ class _Linter(ast.NodeVisitor):
         self.visit(node.args)
         if node.returns is not None:
             self.visit(node.returns)
+        # A function taking both t0 and t1 is a fluid epoch body: it
+        # charges the closed interval [t0, t1) the caller fixed, so the
+        # live clock is off limits inside (SL111).
+        params = {
+            a.arg for a in (
+                node.args.args + node.args.posonlyargs + node.args.kwonlyargs
+            )
+        }
+        epoch = self.sim_coupled and {"t0", "t1"} <= params
+        if epoch:
+            self._epoch_depth += 1
         self._visit_body(node.body)
+        if epoch:
+            self._epoch_depth -= 1
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "now" and self._epoch_depth > 0:
+            owner = node.value
+            owner_name = (
+                owner.attr if isinstance(owner, ast.Attribute)
+                else owner.id if isinstance(owner, ast.Name) else None
+            )
+            if owner_name == "env":
+                self._emit(
+                    node, "SL111",
+                    "env.now read inside a fluid epoch body (t0/t1 function)",
+                )
+        self.generic_visit(node)
 
     def visit_While(self, node: ast.While) -> None:
         self.visit(node.test)

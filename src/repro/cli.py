@@ -249,11 +249,13 @@ def main(argv: list[str] | None = None) -> int:
     p_san.add_argument("--seed", type=int, default=2019,
                        help="base perturbation seed (default 2019)")
     p_san.add_argument(
-        "--scenario", choices=("default", "cluster", "xform", "all"),
+        "--scenario",
+        choices=("default", "cluster", "xform", "scale", "all"),
         default="all",
         help="workload(s) to sweep: the flat datapath smoke, the "
              "cluster crash-during-handoff scenario, the transform-tier "
-             "crash scenario, or all (default all)",
+             "crash scenario, the hybrid-fidelity scale scenario, or "
+             "all (default all)",
     )
     p_san.add_argument("--out", type=pathlib.Path, default=None,
                        help="write the JSON report here")
@@ -340,6 +342,39 @@ def main(argv: list[str] | None = None) -> int:
                          help="smaller dataset and horizon (CI smoke)")
     p_xform.add_argument("--out", type=pathlib.Path, default=None,
                          help="write a JSON summary here")
+
+    p_scale = sub.add_parser(
+        "scale",
+        help="hybrid-fidelity fleet day: fluid bulk lanes + event-accurate "
+             "tagged flows over a 1M-user diurnal workload",
+    )
+    p_scale.add_argument("--users", type=int, default=1_000_000,
+                         help="fleet size (default 1000000)")
+    p_scale.add_argument("--cohorts", type=int, default=8,
+                         help="tenant cohorts (default 8)")
+    p_scale.add_argument("--day", type=float, default=86400.0,
+                         help="simulated day length in seconds (default 86400)")
+    p_scale.add_argument("--lanes", type=int, default=8,
+                         help="fluid lanes / storage paths (default 8)")
+    p_scale.add_argument("--rate", type=float, default=0.02,
+                         help="midline requests/s per user (default 0.02)")
+    p_scale.add_argument("--size", type=int, default=262144,
+                         help="sample size in bytes (default 262144)")
+    p_scale.add_argument("--tagged", type=int, default=4,
+                         help="event-accurate tagged flows per cohort "
+                              "(default 4)")
+    p_scale.add_argument("--seed", type=int, default=42,
+                         help="flow-tagging / arrival seed (default 42)")
+    p_scale.add_argument("--slice-users", type=int, default=2000,
+                         help="equivalence-slice fleet size (default 2000)")
+    p_scale.add_argument("--slice-day", type=float, default=600.0,
+                         help="equivalence-slice day length (default 600)")
+    p_scale.add_argument("--no-check", dest="check", action="store_false",
+                         help="skip the slice equivalence gate")
+    p_scale.add_argument("--quick", action="store_true",
+                         help="downscaled day (CI smoke)")
+    p_scale.add_argument("--out", type=pathlib.Path, default=None,
+                         help="write BENCH_scale.json here")
 
     args = parser.parse_args(argv)
 
@@ -597,6 +632,7 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.sanitizer import (
             cluster_crash_workload,
             default_workload,
+            scale_hybrid_workload,
             xform_crash_workload,
         )
 
@@ -604,6 +640,7 @@ def main(argv: list[str] | None = None) -> int:
             "default": default_workload,
             "cluster": cluster_crash_workload,
             "xform": xform_crash_workload,
+            "scale": scale_hybrid_workload,
         }
         selected = (
             list(scenarios) if args.scenario == "all" else [args.scenario]
@@ -792,6 +829,104 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\nwrote {args.out}")
         print(f"[xform in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0
+
+    if args.command == "scale":
+        import dataclasses
+        import json
+
+        from .errors import ConfigError
+        from .sim.fluid import ScaleSpec, equivalence_check, run_scale
+
+        users = 50_000 if args.quick else args.users
+        day = 7200.0 if args.quick else args.day
+        spec = ScaleSpec(
+            users=users, cohorts=args.cohorts, day=day, lanes=args.lanes,
+            rate_per_user=args.rate, sample_bytes=args.size,
+            tagged_per_cohort=args.tagged, seed=args.seed,
+        )
+        try:
+            spec.validate()
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"== scale: {spec.users:,} users, {spec.cohorts} cohorts, "
+              f"{spec.lanes} lanes, {spec.day:,.0f} s day, "
+              f"seed {spec.seed} ==")
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        hybrid = run_scale(spec, mode="hybrid")
+        hybrid_wall = time.time() - t0  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        total_requests = hybrid.bulk_requests + len(hybrid.tagged)
+        print(f"hybrid wall       {hybrid_wall:.2f} s")
+        print(f"events scheduled  {hybrid.events_scheduled:,}")
+        print(f"bulk requests     {hybrid.bulk_requests:,} "
+              f"({hybrid.bulk_bytes / 1e12:.2f} TB)")
+        print(f"events elided     {hybrid.elide_ratio:.4f} of bulk requests")
+        pct = hybrid.tagged_percentiles()
+        if pct.get("count"):
+            print(f"tagged flows      {pct['count']:,} requests | "
+                  f"p50 {pct['p50'] * 1e3:.3f} ms  "
+                  f"p90 {pct['p90'] * 1e3:.3f} ms  "
+                  f"p99 {pct['p99'] * 1e3:.3f} ms  "
+                  f"p999 {pct['p999'] * 1e3:.3f} ms")
+            print(f"SLO violations    {pct['slo_violations']:,} "
+                  f"(bound {spec.slo * 1e3:.1f} ms)")
+        # Extrapolate the all-event cost from a downscaled slice: measure
+        # its event throughput, scale by the full run's request count.
+        slice_spec = spec.sliced(
+            min(args.slice_users, spec.users),
+            min(args.slice_day, spec.day),
+        )
+        t1 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        ev = run_scale(slice_spec, mode="event")
+        slice_wall = max(time.time() - t1, 1e-9)  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        ev_requests = ev.bulk_requests + len(ev.tagged)
+        events_per_req = ev.events_scheduled / max(ev_requests, 1)
+        events_per_s = ev.events_scheduled / slice_wall
+        est_event_wall = events_per_req * total_requests / events_per_s
+        speedup = est_event_wall / max(hybrid_wall, 1e-9)
+        print(f"slice (all-event) {slice_spec.users:,} users / "
+              f"{slice_spec.day:,.0f} s: {ev.events_scheduled:,} events "
+              f"in {slice_wall:.2f} s")
+        print(f"extrapolated all-event wall  {est_event_wall:,.0f} s")
+        print(f"speedup vs all-event         {speedup:,.0f}x")
+        check = None
+        if args.check:
+            t2 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+            check = equivalence_check(slice_spec)
+            verdict = "PASS" if check["ok"] else "FAIL"
+            print(f"equivalence gate  {verdict} "
+                  f"(order {check['order_digest'][:12]}, "
+                  f"latency {check['latency_digest'][:12]}, "
+                  f"eps {check['epsilon']:g})")
+            for f in check["failures"]:
+                print(f"  FAIL: {f}")
+            print(f"[equivalence in {time.time() - t2:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        ok = (check is None or check["ok"]) and speedup >= 20.0
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            blob = {
+                "ok": ok,
+                "spec": dataclasses.asdict(spec),
+                "hybrid": hybrid.summary(),
+                "hybrid_wall_s": hybrid_wall,
+                "slice": {
+                    "users": slice_spec.users,
+                    "day": slice_spec.day,
+                    "events": ev.events_scheduled,
+                    "wall_s": slice_wall,
+                    "events_per_s": events_per_s,
+                    "events_per_request": events_per_req,
+                },
+                "extrapolated_event_wall_s": est_event_wall,
+                "speedup": speedup,
+                "equivalence": check,
+            }
+            args.out.write_text(
+                json.dumps(blob, indent=2, default=str) + "\n"
+            )
+            print(f"wrote {args.out}")
+        print(f"[scale in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        return 0 if ok else 1
 
     if args.command in ("all", "claims"):
         headline_only = args.command == "claims"

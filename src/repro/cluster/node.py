@@ -15,7 +15,27 @@ from ..hw import CPU, Fabric, HugePagePool, NVMeDevice, Testbed
 from ..hw.memory import chunk_quotas
 from ..sim import Environment
 
-__all__ = ["Node", "Cluster"]
+__all__ = ["Node", "Cluster", "fluid_lane_stages"]
+
+
+def fluid_lane_stages(nvme=None, network=None, chunk_bytes: int = 256 * 1024):
+    """``(name, bytes/s)`` fluid service stages for one storage lane.
+
+    The hybrid-fidelity engine (:mod:`repro.sim.fluid`) models a lane as
+    a rate-balanced pipeline; this is the storage half: the NVMe read
+    stream feeding the chunked fabric link.  Rates come from the same
+    hardware specs the event-accurate models use, so the fluid
+    bottleneck is the one the per-event lane would saturate.
+    """
+    from ..hw.platform import NetworkSpec, NVMeSpec
+    from ..xform.transfer import fabric_fluid_rate
+    nvme = nvme or NVMeSpec()
+    network = network or NetworkSpec()
+    return (
+        ("nvme", float(nvme.read_bandwidth)),
+        ("fabric", fabric_fluid_rate(
+            network.bandwidth, chunk_bytes, network.propagation_latency)),
+    )
 
 
 class Node:

@@ -241,6 +241,11 @@ class MetricsRegistry:
         self.recovery: list["RecoveryStats"] = []
         #: Time-series of :meth:`snapshot_now` dicts.
         self.snapshots: list[dict] = []
+        #: Instrument names whose values are (partly) charged by the
+        #: fluid analytic path rather than per-event observation
+        #: (:mod:`repro.sim.fluid`).  Kept as an insertion-ordered list
+        #: so exports stay deterministic.
+        self._fluid: list[str] = []
         self._next_snapshot = snapshot_period if snapshot_period > 0 else math.inf
 
     # -- instruments ---------------------------------------------------------
@@ -276,6 +281,21 @@ class MetricsRegistry:
     def register_recovery(self, stats: "RecoveryStats") -> None:
         self.recovery.append(stats)
 
+    def mark_fluid(self, name: str) -> None:
+        """Flag ``name`` as fluid-charged (analytic, not per-event).
+
+        Flagged names appear under ``"fluid"`` in snapshots and the
+        dump, so dashboards can distinguish counters backed by real
+        events from ones advanced in closed form by a hybrid run.
+        """
+        if name not in self._fluid:
+            self._fluid.append(name)
+
+    @property
+    def fluid_names(self) -> tuple:
+        """Sorted names flagged by :meth:`mark_fluid`."""
+        return tuple(sorted(self._fluid))
+
     # -- snapshots -------------------------------------------------------------
     def snapshot_now(self) -> dict:
         """Record (and return) one time-series point at the current time."""
@@ -284,6 +304,8 @@ class MetricsRegistry:
             "counters": {n: c.value for n, c in self.counters.items()},
             "gauges": {n: g.value for n, g in self.gauges.items()},
         }
+        if self._fluid:
+            point["fluid"] = list(self.fluid_names)
         self.snapshots.append(point)
         return point
 
@@ -302,7 +324,7 @@ class MetricsRegistry:
     # -- export ---------------------------------------------------------------
     def dump(self) -> dict:
         """The full JSON-able metrics state (consumed by bench.report)."""
-        return {
+        out = {
             "now": self.env.now,
             "counters": {n: c.value for n, c in sorted(self.counters.items())},
             "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
@@ -315,6 +337,9 @@ class MetricsRegistry:
             "recovery": {s.name: s.as_dict() for s in self.recovery},
             "snapshots": list(self.snapshots),
         }
+        if self._fluid:
+            out["fluid"] = list(self.fluid_names)
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -370,6 +395,10 @@ class NullMetrics:
 
     enabled = False
     snapshots: tuple = ()
+    fluid_names: tuple = ()
+
+    def mark_fluid(self, name: str) -> None:
+        pass
 
     def counter(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT

@@ -21,6 +21,15 @@ from .engine import (
     fastpath_enabled,
     set_fastpath,
 )
+from .fluid import (
+    ArrivalSchedule,
+    FluidLane,
+    RateEnvelope,
+    ScaleSpec,
+    Segment,
+    equivalence_check,
+    run_scale,
+)
 from .resources import Container, PriorityResource, Request, Resource, Store
 from .rng import derive_seed, reset_substream_log, rng, substream_log
 from .stats import Counter, RecoveryStats, Tally, ThroughputMeter, TimeWeighted
@@ -42,6 +51,13 @@ __all__ = [
     "Counter",
     "ThroughputMeter",
     "RecoveryStats",
+    "FluidLane",
+    "RateEnvelope",
+    "Segment",
+    "ArrivalSchedule",
+    "ScaleSpec",
+    "run_scale",
+    "equivalence_check",
     "set_fastpath",
     "fastpath_enabled",
     "rng",

@@ -495,6 +495,9 @@ class Environment:
         #: Observability hooks called after each processed event; ``None``
         #: (the default) keeps step() at a single falsy check.
         self._step_listeners: Optional[list[Callable[[float, Event], None]]] = None
+        #: Fluid lanes registered for epoch stepping (repro.sim.fluid);
+        #: ``None`` (the default) keeps run_epoch() pay-for-use.
+        self._lanes: Optional[list[Any]] = None
 
     # -- time --------------------------------------------------------------
     @property
@@ -608,6 +611,37 @@ class Environment:
         if self._step_listeners is not None:
             for listener in self._step_listeners:
                 listener(self._now, event)
+
+    # -- epoch stepping (hybrid-fidelity lanes) ------------------------------
+    def register_lane(self, lane: Any) -> None:
+        """Register a fluid lane for epoch stepping.
+
+        Registered lanes get ``lane.epoch_end(t0, t1)`` after every
+        :meth:`run_epoch`, with the epoch bounds passed explicitly —
+        fluid epoch bodies must not read ``env.now`` (lint rule SL111).
+        """
+        if self._lanes is None:
+            self._lanes = []
+        self._lanes.append(lane)
+
+    @property
+    def lanes(self) -> tuple:
+        """The registered fluid lanes, in registration order."""
+        return tuple(self._lanes) if self._lanes is not None else ()
+
+    def run_epoch(self, until: float) -> None:
+        """Run events up to ``until``, then close the epoch on every lane.
+
+        The event phase is a plain :meth:`run`, so anything scheduled in
+        ``[now, until]`` (tagged flows, fault windows) is processed with
+        full event fidelity; the epoch hook then lets each registered
+        lane charge its bulk traffic for the window analytically.
+        """
+        t0 = self._now
+        self.run(until=float(until))
+        if self._lanes is not None:
+            for lane in self._lanes:
+                lane.epoch_end(t0, self._now)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.

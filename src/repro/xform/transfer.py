@@ -27,7 +27,27 @@ from ..errors import ConfigError
 from ..obs import NULL_METRICS
 from ..sim import Resource
 
-__all__ = ["TransferEngine"]
+__all__ = ["TransferEngine", "fabric_fluid_rate"]
+
+
+def fabric_fluid_rate(
+    bandwidth: float, chunk_bytes: int, propagation_latency: float = 0.0
+) -> float:
+    """Effective bytes/s of a chunked fabric link, for fluid lane models.
+
+    A saturated chunked link moves one ``chunk_bytes`` payload per
+    ``wire + propagation`` period (credits keep the pipe full but each
+    chunk still pays the one-way latency), so the steady-state rate is
+    slightly below raw ``bandwidth``.  This is the fabric stage the
+    hybrid-fidelity engine (:mod:`repro.sim.fluid`) rate-balances
+    against NVMe and transform stages.
+    """
+    if bandwidth <= 0 or chunk_bytes < 1 or propagation_latency < 0:
+        raise ConfigError(
+            "fabric_fluid_rate needs bandwidth > 0, chunk_bytes >= 1, "
+            "propagation_latency >= 0"
+        )
+    return chunk_bytes / (chunk_bytes / bandwidth + propagation_latency)
 
 
 class _LinkStats:
@@ -69,6 +89,13 @@ class TransferEngine:
         self._c_bytes = metrics.counter("xform.net.bytes")
         self._c_chunks = metrics.counter("xform.net.chunks")
         self._h_latency = metrics.histogram("xform.net.transfer_latency")
+
+    def fluid_rate(self) -> float:
+        """This engine's steady-state bytes/s for fluid lane models."""
+        spec = self.fabric.spec
+        return fabric_fluid_rate(
+            spec.bandwidth, self.chunk_bytes, spec.propagation_latency
+        )
 
     def _credit(self, dst: str) -> Resource:
         credit = self._credits.get(dst)

@@ -55,3 +55,7 @@ def unguarded_obs(self):
     span = time.monotonic()               # SL101; suppression below is bad
     t = time.perf_counter()  # simlint: disable=SL101
     return span, t                        # ^ SL100: suppression has no reason
+
+
+def fluid_epoch_body(env, t0, t1):
+    return (t1 - t0) * env.now            # SL111 (epoch bodies take bounds)

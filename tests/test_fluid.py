@@ -1,0 +1,400 @@
+"""Hybrid-fidelity engine tests: fluid lanes, tagged flows, equivalence.
+
+The load-bearing property is the *tagged-flow equivalence obligation*
+(DESIGN.md): with fluid enabled, tagged flows' sample-order and latency
+digests must match an all-event run exactly, per-lane bulk request and
+byte counters must be integer-exact, and bulk latency sums must agree
+within ``EQUIVALENCE_EPSILON``.  On top of that, the constant-rate
+zero-backlog regime must match with *zero* epsilon — the closed form
+and the event sum are then the same dyadic arithmetic.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry
+from repro.sim import Environment
+from repro.sim.fluid import (
+    ArrivalSchedule,
+    FluidLane,
+    RateEnvelope,
+    ScaleSpec,
+    Segment,
+    equivalence_check,
+    flow_arrival_times,
+    run_scale,
+    tag_flows,
+)
+
+SMALL = ScaleSpec(users=2000, day=600.0)
+
+
+def _const_envelope(rate, size, end=8.0):
+    return RateEnvelope((Segment(0.0, end, rate, size),))
+
+
+# ---------------------------------------------------------------------------
+# RateEnvelope / ArrivalSchedule
+# ---------------------------------------------------------------------------
+
+class TestEnvelope:
+    def test_contiguity_required(self):
+        with pytest.raises(ConfigError):
+            RateEnvelope((
+                Segment(0.0, 1.0, 10.0, 64),
+                Segment(2.0, 3.0, 10.0, 64),
+            ))
+
+    def test_rate_at_half_open(self):
+        env = RateEnvelope((
+            Segment(0.0, 1.0, 10.0, 64),
+            Segment(1.0, 2.0, 20.0, 64),
+        ))
+        assert env.rate_at(0.0) == 10.0
+        assert env.rate_at(1.0) == 20.0
+        assert env.bytes_rate_at(1.5) == 20.0 * 64
+        assert env.rate_at(2.0) == 0.0
+
+    def test_diurnal_shape(self):
+        env = RateEnvelope.diurnal(100.0, 64, day=86400.0, segments=24)
+        rates = [s.rate for s in env.segments]
+        assert len(rates) == 24
+        # Trough at midnight, peak at midday.
+        assert rates[0] == min(rates)
+        assert max(rates) == pytest.approx(150.0, rel=0.05)
+
+    def test_diurnal_active_window_clips_to_zero(self):
+        env = RateEnvelope.diurnal(
+            100.0, 64, day=24.0, segments=24, active=(6.0, 18.0)
+        )
+        assert env.rate_at(3.0) == 0.0
+        assert env.rate_at(12.0) > 0.0
+        assert env.rate_at(20.0) == 0.0
+        assert env.start == 0.0 and env.end == 24.0
+
+    def test_schedule_counts_telescope(self):
+        sched = ArrivalSchedule(RateEnvelope((
+            Segment(0.0, 1.0, 173.0, 64),
+            Segment(1.0, 2.5, 41.5, 64),
+        )))
+        cuts = [0.0, 0.137, 0.5, 0.99999, 1.0, 1.62, 2.0, 2.5]
+        total = sum(
+            sched.count_between(a, b) for a, b in zip(cuts, cuts[1:])
+        )
+        assert total == sched.count_between(0.0, 2.5) == sched.total
+
+    def test_schedule_arrivals_interior(self):
+        sched = ArrivalSchedule(_const_envelope(10.0, 64, end=1.0))
+        times = [t for t, _ in sched.arrivals_between(0.0, 1.0)]
+        assert len(times) == 10
+        assert all(0.0 < t < 1.0 for t in times)
+        assert times == sorted(times)
+
+    def test_fraction_scales_count(self):
+        envl = _const_envelope(100.0, 64, end=1.0)
+        assert ArrivalSchedule(envl, fraction=0.25).total == 25
+
+
+# ---------------------------------------------------------------------------
+# FluidLane closed form vs all-event offers
+# ---------------------------------------------------------------------------
+
+def _event_charge(lane, sched, start, end):
+    """Charge every bulk arrival as a discrete offer (the event path)."""
+    for t, size in sched.arrivals_between(start, end):
+        lane.offer(t, size)
+
+
+def _fluid_lane(stages, sched, inflow=0.0):
+    env = Environment()
+    lane = FluidLane(env, "lane", stages)
+    lane.schedules.append(sched)
+    if inflow:
+        lane.set_inflow(0.0, inflow)
+    return env, lane
+
+
+class TestConstantRateExactness:
+    """Zero-epsilon property: constant rate, underloaded (backlog == 0).
+
+    With dyadic stage rates and sizes, every arrival's latency is the
+    same dyadic ``base``; the closed form charges ``n * base`` and the
+    event path sums ``base`` n times — identical floats, so requests,
+    bytes, AND latency sums must be equal with zero tolerance.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rate_exp=st.integers(min_value=20, max_value=34),
+        size_exp=st.integers(min_value=10, max_value=20),
+        arrivals_per_s=st.integers(min_value=1, max_value=997),
+        inflow_frac=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+        cuts=st.lists(
+            st.floats(min_value=0.01, max_value=7.99,
+                      allow_nan=False, allow_infinity=False),
+            max_size=6,
+        ),
+    )
+    def test_epoch_advance_matches_event_charges_exactly(
+        self, rate_exp, size_exp, arrivals_per_s, inflow_frac, cuts
+    ):
+        mu = float(2 ** rate_exp)
+        size = 2 ** size_exp
+        stages = (("nvme", mu), ("fabric", 2.0 * mu))
+        envl = _const_envelope(float(arrivals_per_s), size, end=8.0)
+        sched = ArrivalSchedule(envl)
+        inflow = inflow_frac * mu  # <= mu: backlog stays clamped at zero
+
+        env_f, fluid = _fluid_lane(stages, sched, inflow)
+        # Random epoch partition of [0, 8): the closed form must not
+        # care where the boundaries fall.
+        bounds = sorted({0.0, *cuts, 8.0})
+        for a, b in zip(bounds, bounds[1:]):
+            env_f.run(until=b)
+            fluid.epoch_end(a, b)
+
+        env_e = Environment()
+        event = FluidLane(env_e, "lane", stages)
+        event.evented_until = math.inf
+        _event_charge(event, sched, 0.0, 8.0)
+
+        assert fluid.requests == event.requests == sched.total
+        assert fluid.bytes == event.bytes == sched.total * size
+        assert fluid.latency_sum == event.latency_sum  # zero epsilon
+        assert fluid.fluid_requests == fluid.requests
+        assert event.fluid_requests == 0
+
+    def test_single_epoch_known_values(self):
+        mu = 2.0 ** 20
+        size = 1024
+        sched = ArrivalSchedule(_const_envelope(16.0, size, end=2.0))
+        env, lane = _fluid_lane((("nvme", mu),), sched)
+        env.run(until=2.0)
+        lane.epoch_end(0.0, 2.0)
+        assert lane.requests == 32
+        assert lane.bytes == 32 * size
+        assert lane.latency_sum == 32 * (size / mu)
+
+
+class TestBackloggedEquivalence:
+    """Overload and outage: counters integer-exact, sums within epsilon."""
+
+    def _compare(self, stages, sched, inflow, outage=None):
+        env_f, fluid = _fluid_lane(stages, sched, inflow)
+        if outage is not None:
+            fluid.set_outage(*outage)
+        env_e = Environment()
+        event = FluidLane(env_e, "lane", stages)
+        event.schedules.append(sched)
+        event.evented_until = math.inf
+        event.set_inflow(0.0, inflow)
+        if outage is not None:
+            event.set_outage(*outage)
+        bounds = [0.0, 1.0, 2.5, 4.0, 8.0]
+        if outage is not None:
+            bounds = sorted({*bounds, *outage})
+        # Event offers interleave with anchor transitions in time order,
+        # exactly as the all-event driver does.
+        for a, b in zip(bounds, bounds[1:]):
+            env_f.run(until=b)
+            fluid.epoch_end(a, b)
+            _event_charge(event, sched, a, b)
+            if outage is not None and b == outage[1]:
+                fluid.clear_outage(b)
+                event.clear_outage(b)
+        assert fluid.requests == event.requests == sched.total
+        assert fluid.bytes == event.bytes
+        scale = max(abs(fluid.latency_sum), abs(event.latency_sum), 1.0)
+        assert abs(fluid.latency_sum - event.latency_sum) <= 1e-9 * scale
+
+    def test_overloaded_lane(self):
+        mu = 1e6
+        sched = ArrivalSchedule(_const_envelope(300.0, 8192, end=8.0))
+        self._compare((("nvme", mu),), sched, inflow=1.5 * mu)
+
+    def test_draining_backlog_crosses_zero(self):
+        mu = 1e6
+        sched = ArrivalSchedule(_const_envelope(250.0, 4096, end=8.0))
+        env_f, fluid = _fluid_lane((("nvme", mu),), sched, inflow=2.0 * mu)
+        # Build backlog for 1s, then cut inflow to zero: the backlog
+        # drains linearly and the wait clamp crosses inside the epoch.
+        env_f.run(until=1.0)
+        fluid.epoch_end(0.0, 1.0)
+        fluid.set_inflow(1.0, 0.0)
+        env_f.run(until=8.0)
+        fluid.epoch_end(1.0, 8.0)
+
+        env_e = Environment()
+        event = FluidLane(env_e, "lane", (("nvme", mu),))
+        event.evented_until = math.inf
+        event.set_inflow(0.0, 2.0 * mu)
+        _event_charge(event, sched, 0.0, 1.0)
+        event.set_inflow(1.0, 0.0)
+        _event_charge(event, sched, 1.0, 8.0)
+
+        assert fluid.requests == event.requests
+        assert fluid.bytes == event.bytes
+        scale = max(abs(fluid.latency_sum), 1.0)
+        assert abs(fluid.latency_sum - event.latency_sum) <= 1e-9 * scale
+
+    def test_outage_window(self):
+        mu = 1e6
+        sched = ArrivalSchedule(_const_envelope(100.0, 4096, end=8.0))
+        self._compare(
+            (("nvme", mu),), sched, inflow=0.5 * mu, outage=(1.0, 2.5)
+        )
+
+    def test_tagged_impulse_delays_bulk_identically(self):
+        mu = 1e6
+        size = 4096
+        sched = ArrivalSchedule(_const_envelope(100.0, size, end=4.0))
+        env_f, fluid = _fluid_lane((("nvme", mu),), sched, inflow=0.25 * mu)
+        env_f.run(until=1.0)
+        fluid.epoch_end(0.0, 1.0)
+        lat_f = fluid.offer(1.0, 1 << 20, tagged=True)
+        env_f.run(until=4.0)
+        fluid.epoch_end(1.0, 4.0)
+
+        env_e = Environment()
+        event = FluidLane(env_e, "lane", (("nvme", mu),))
+        event.evented_until = math.inf
+        event.set_inflow(0.0, 0.25 * mu)
+        _event_charge(event, sched, 0.0, 1.0)
+        lat_e = event.offer(1.0, 1 << 20, tagged=True)
+        _event_charge(event, sched, 1.0, 4.0)
+
+        assert lat_f == lat_e  # tagged latency is bitwise identical
+        assert fluid.tagged_requests == event.tagged_requests == 1
+        assert fluid.requests == event.requests
+        scale = max(abs(fluid.latency_sum), 1.0)
+        assert abs(fluid.latency_sum - event.latency_sum) <= 1e-9 * scale
+
+    def test_stage_validation(self):
+        env = Environment()
+        with pytest.raises(ConfigError):
+            FluidLane(env, "lane", ())
+        with pytest.raises(ConfigError):
+            FluidLane(env, "lane", (("nvme", 0.0),))
+
+
+# ---------------------------------------------------------------------------
+# Engine lane registry
+# ---------------------------------------------------------------------------
+
+class TestLaneRegistry:
+    def test_run_epoch_passes_bounds(self):
+        calls = []
+
+        class Probe:
+            def epoch_end(self, t0, t1):
+                calls.append((t0, t1))
+
+        env = Environment()
+        env.register_lane(Probe())
+        assert len(env.lanes) == 1
+        env.run_epoch(until=1.0)
+        env.run_epoch(until=2.5)
+        assert calls == [(0.0, 1.0), (1.0, 2.5)]
+
+    def test_no_lanes_is_pay_for_use(self):
+        env = Environment()
+        assert env.lanes == ()
+        env.run_epoch(until=1.0)  # no lanes: plain run()
+        assert env.now == 1.0
+
+    def test_fluid_lane_registers_itself(self):
+        env = Environment()
+        lane = FluidLane(env, "lane", (("nvme", 1e6),))
+        assert env.lanes == (lane,)
+
+
+# ---------------------------------------------------------------------------
+# Tagged flows
+# ---------------------------------------------------------------------------
+
+class TestTaggedFlows:
+    def test_tag_flows_deterministic_and_sorted(self):
+        a = tag_flows("cohort0", 1000, 4, seed=42)
+        b = tag_flows("cohort0", 1000, 4, seed=42)
+        assert a == b == tuple(sorted(a))
+        assert len(set(a)) == 4
+        assert tag_flows("cohort1", 1000, 4, seed=42) != a
+
+    def test_flow_arrival_times_deterministic(self):
+        envl = _const_envelope(50.0, 64, end=10.0)
+        t1 = flow_arrival_times(envl, flows=10, tenant="c0", flow_id=3, seed=7)
+        t2 = flow_arrival_times(envl, flows=10, tenant="c0", flow_id=3, seed=7)
+        assert t1 == t2
+        assert list(t1) == sorted(t1)
+        assert all(0.0 <= t < 10.0 for t in t1)
+
+
+# ---------------------------------------------------------------------------
+# run_scale / equivalence_check
+# ---------------------------------------------------------------------------
+
+class TestScale:
+    def test_equivalence_small_spec(self):
+        verdict = equivalence_check(SMALL)
+        assert verdict["ok"], verdict["failures"]
+        assert verdict["hybrid_events"] < verdict["event_events"]
+
+    def test_hybrid_deterministic(self):
+        r1 = run_scale(SMALL, mode="hybrid")
+        r2 = run_scale(SMALL, mode="hybrid")
+        assert r1.order_digest == r2.order_digest
+        assert r1.latency_digest == r2.latency_digest
+        assert r1.bulk_requests == r2.bulk_requests
+        assert r1.events_scheduled == r2.events_scheduled
+
+    def test_hybrid_elides_most_events(self):
+        r = run_scale(SMALL, mode="hybrid")
+        assert r.elide_ratio > 0.9
+        assert r.fluid_requests > 0
+        assert len(r.tagged) > 0
+
+    def test_event_mode_elides_nothing(self):
+        r = run_scale(SMALL, mode="event")
+        assert r.fluid_requests == 0
+        assert r.elide_ratio == 0.0
+
+    def test_percentiles_and_summary(self):
+        r = run_scale(SMALL, mode="hybrid")
+        pct = r.tagged_percentiles()
+        assert pct["count"] == len(r.tagged)
+        assert pct["p50"] <= pct["p99"] <= pct["max"]
+        summary = r.summary()
+        assert summary["mode"] == "hybrid"
+        assert summary["elide_ratio"] == r.elide_ratio
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            ScaleSpec(users=4, cohorts=8).validate()
+        with pytest.raises(ConfigError):
+            ScaleSpec(faults=((9, 0.5, 0.6),)).validate()
+        with pytest.raises(ConfigError):
+            ScaleSpec(churn=((0, 0.9, 0.3),)).validate()
+        SMALL.validate()
+
+    def test_registry_marks_fluid_counters(self):
+        env = Environment()
+        reg = MetricsRegistry(env)
+        lane = FluidLane(env, "l0", (("nvme", 1e6),), registry=reg)
+        lane.schedules.append(
+            ArrivalSchedule(_const_envelope(100.0, 4096, end=1.0))
+        )
+        env.run_epoch(until=1.0)
+        assert "fluid.lane.l0.requests" in reg.fluid_names
+        assert reg.counter("fluid.lane.l0.requests").value == lane.fluid_requests
+        assert "fluid" in reg.dump()
+
+    def test_registry_without_fluid_has_no_fluid_key(self):
+        env = Environment()
+        reg = MetricsRegistry(env)
+        reg.counter("plain").incr()
+        assert "fluid" not in reg.dump()
+        assert "fluid" not in reg.snapshot_now()

@@ -436,10 +436,76 @@ def test_sl110_suppressed_with_reason():
 
 
 # ---------------------------------------------------------------------------
+# SL111 — env.now inside fluid epoch bodies
+# ---------------------------------------------------------------------------
+
+def test_sl111_env_now_in_epoch_body():
+    src = """
+    from repro.sim import Environment
+    def charge(env, t0, t1):
+        return (t1 - t0) * env.now
+    """
+    assert ids(src) == ["SL111"]
+
+
+def test_sl111_self_env_and_nested_function():
+    src = """
+    from repro.sim import Environment
+    class Lane:
+        def epoch_end(self, t0, t1):
+            def helper():
+                return self.env.now
+            return helper()
+    """
+    assert ids(src) == ["SL111"]
+
+
+def test_sl111_bounds_only_epoch_body_is_clean():
+    src = """
+    from repro.sim import Environment
+    def charge(env, t0, t1):
+        return (t1 - t0) * env.rate
+    """
+    assert ids(src) == []
+
+
+def test_sl111_env_now_outside_epoch_body_is_fine():
+    src = """
+    from repro.sim import Environment
+    def proc(env, delay):
+        return env.now + delay
+    """
+    assert ids(src) == []
+
+
+def test_sl111_not_sim_coupled_module_is_exempt():
+    src = """
+    def charge(env, t0, t1):
+        return env.now - t0
+    """
+    assert ids(src) == []
+
+
+def test_sl111_sim_path_is_coupled():
+    src = "def charge(env, t0, t1):\n    return env.now - t0\n"
+    found = lint_source(src, "src/repro/sim/fluid.py")
+    assert [f.rule_id for f in found] == ["SL111"]
+
+
+def test_sl111_suppressed_with_reason():
+    src = """
+    from repro.sim import Environment
+    def charge(env, t0, t1):
+        return env.now - t0  # simlint: disable=SL111 -- assertion helper, not a charge
+    """
+    assert ids(src) == []
+
+
+# ---------------------------------------------------------------------------
 # Whole-tree and fixture acceptance
 # ---------------------------------------------------------------------------
 
-ALL_RULE_IDS = [f"SL10{i}" for i in range(10)] + ["SL110"]
+ALL_RULE_IDS = [f"SL10{i}" for i in range(10)] + ["SL110", "SL111"]
 
 
 def test_rule_table_is_complete_and_stable():
