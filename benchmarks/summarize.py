@@ -12,6 +12,13 @@ sweeps::
 Artifacts are summarized by name when the shape is known and fall back
 to a generic ``ok``-flag row otherwise, so a future ``BENCH_foo.json``
 shows up without code changes here.
+
+A malformed artifact — truncated mid-write, invalid JSON, not a JSON
+object, or missing a key its summarizer requires — aborts the render
+with the offending filename and exit code 2.  A page that silently
+rendered "unreadable artifact" rows let a crashed benchmark pass for a
+summarized one; now the only way to a written page is every artifact
+parsing clean.
 """
 
 import argparse
@@ -23,6 +30,59 @@ import sys
 GB = 1e9
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class ArtifactError(Exception):
+    """A BENCH_*.json artifact that cannot be summarized faithfully."""
+
+
+#: Keys an artifact must carry for its named summarizer to mean
+#: anything.  Unknown artifact names fall back to the generic
+#: summarizer, whose only contract is the ``ok`` flag.
+REQUIRED_KEYS = {
+    "engine": ("digest_check", "benchmarks"),
+    "tenancy": ("ok", "fairness", "isolation"),
+    "cluster": ("ok", "scaling", "failover"),
+    "xform": ("ok", "cells"),
+    "scale": ("ok", "hybrid"),
+}
+GENERIC_REQUIRED = ("ok",)
+
+
+def load_artifact(path):
+    """Parse one artifact, raising :class:`ArtifactError` on anything
+    short of a complete, well-shaped JSON object."""
+    name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+    try:
+        with open(path) as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise ArtifactError(f"{os.path.basename(path)}: unreadable: {exc}")
+    if not raw.strip():
+        raise ArtifactError(
+            f"{os.path.basename(path)}: empty artifact (benchmark died "
+            f"before writing?)"
+        )
+    try:
+        data = json.loads(raw)
+    except ValueError as exc:
+        raise ArtifactError(
+            f"{os.path.basename(path)}: malformed JSON (partial write?): "
+            f"{exc}"
+        )
+    if not isinstance(data, dict):
+        raise ArtifactError(
+            f"{os.path.basename(path)}: artifact is "
+            f"{type(data).__name__}, expected a JSON object"
+        )
+    required = REQUIRED_KEYS.get(name, GENERIC_REQUIRED)
+    missing = [key for key in required if key not in data]
+    if missing:
+        raise ArtifactError(
+            f"{os.path.basename(path)}: missing required key(s): "
+            f"{', '.join(missing)}"
+        )
+    return name, data
 
 
 def _fmt(value, spec=",.0f"):
@@ -241,13 +301,7 @@ def render(root):
     paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
     rows, sections = [], []
     for path in paths:
-        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
-        try:
-            with open(path) as fh:
-                data = json.load(fh)
-        except (OSError, ValueError) as exc:
-            rows.append((name, None, f"unreadable artifact: {exc}"))
-            continue
+        name, data = load_artifact(path)
         summarize = SUMMARIZERS.get(name, summarize_generic)
         verdict, headline, detail = summarize(data)
         rows.append((name, verdict, headline))
@@ -286,7 +340,11 @@ def main(argv=None):
                         help="output path (default <root>/BENCHMARKS.md)")
     args = parser.parse_args(argv)
 
-    page, rows = render(args.root)
+    try:
+        page, rows = render(args.root)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     out = args.out or os.path.join(args.root, "BENCHMARKS.md")
     with open(out, "w") as fh:
         fh.write(page)

@@ -47,6 +47,7 @@ __all__ = [
     "cluster_crash_workload",
     "xform_crash_workload",
     "scale_hybrid_workload",
+    "scenario_pack_workload",
 ]
 
 
@@ -307,6 +308,27 @@ def scale_hybrid_workload() -> Dict[str, Any]:
     for lane in report.lanes:
         witness[f"lane.{lane['name']}.requests"] = lane["requests"]
         witness[f"lane.{lane['name']}.bytes"] = lane["bytes"]
+    return witness
+
+
+def scenario_pack_workload() -> Dict[str, Any]:
+    """Golden-master scenarios as a sweep target.
+
+    Runs one windowed-tenancy scenario (phase-stepped surge compiled to
+    per-interval workloads) and one cluster scenario (staggered
+    crash/rejoin wave, which exercises the handoff abort/re-graft race)
+    in quick mode and witnesses their full fingerprint digests.  Any
+    tiebreak-dependent ordering anywhere in a compiled scenario —
+    arrivals, phase windows, handoffs, per-phase histogram merges —
+    moves a digest.
+    """
+    from ..scenarios import SCENARIOS, fingerprint_digest, run_scenario
+
+    witness: Dict[str, Any] = {}
+    for name in ("flash-crowd", "rolling-upgrade"):
+        fp = run_scenario(SCENARIOS[name], quick=True)
+        witness[f"{name}.digest"] = fingerprint_digest(fp)
+        witness[f"{name}.sim_time"] = float(fp["sim_time"])
     return witness
 
 

@@ -60,6 +60,18 @@ chunked fabric transfer engine, and per-tier utilization reporting::
     python -m repro xform --stages parse,augment:0.5
     python -m repro xform --stages parse,decompress:2 --placement storage
     python -m repro xform --stages parse --crash 0=0.002:0.005 --out results/xform.json
+
+``scenario`` is the golden-master regression harness: named, seeded
+traffic/fault scenarios (flash crowds, tenant churn, dataset hot-swap,
+rolling upgrades, regional failover, diurnal fleet days) compiled onto
+the engines above, with bit-exact drift checking against committed
+baselines under ``scenarios/golden/``::
+
+    python -m repro scenario list
+    python -m repro scenario run flash-crowd --quick
+    python -m repro scenario record rolling-upgrade --label "why this baseline is right"
+    python -m repro scenario check                    # exit 1 on drift, with attribution
+    python -m repro scenario check --quick --perturb 0.01   # must FAIL (gate self-check)
 """
 
 from __future__ import annotations
@@ -118,6 +130,42 @@ def _parse_crash(spec: str) -> tuple:
     return (lane, t1, t2)
 
 
+def _common_parent() -> argparse.ArgumentParser:
+    """Shared flags for every workload subcommand.
+
+    ``chaos``/``serve``/``cluster``/``xform``/``scale``/``scenario`` all
+    inherit ``--seed``/``--quick``/``--json``/``--out`` from this parent
+    so the flags mean the same thing everywhere.  ``--seed`` defaults to
+    ``None`` and each command resolves its own default (42 for the
+    traffic engines; ``chaos`` keeps the fault plan's seed), preserving
+    the historical per-command semantics.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=None,
+                        help="deterministic seed (default: per-command)")
+    parent.add_argument("--quick", action="store_true",
+                        help="downscaled run (CI smoke)")
+    parent.add_argument("--json", action="store_true",
+                        help="print the JSON summary to stdout instead of "
+                             "the human tables")
+    parent.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write a JSON summary here")
+    return parent
+
+
+def _write_json(out: pathlib.Path | None, blob, as_json: bool) -> None:
+    """Honor the shared ``--json`` / ``--out`` flags for one summary."""
+    import json
+
+    if as_json:
+        print(json.dumps(blob, indent=2, default=str))
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(blob, indent=2, default=str) + "\n")
+        if not as_json:
+            print(f"\nwrote {out}")
+
+
 def _emit(result, out_dir: pathlib.Path | None, headline_only: bool) -> None:
     text = render_headline(result) if headline_only else render_figure(result)
     print(f"\n== {result.figure}: {result.title} ==" if headline_only else "")
@@ -135,6 +183,7 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduce the DLFS (CLUSTER 2019) evaluation figures.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parent()
 
     sub.add_parser("list", help="list available figures")
 
@@ -155,7 +204,8 @@ def main(argv: list[str] | None = None) -> int:
     p_claims.add_argument("--scale", type=float, default=0.5)
 
     p_chaos = sub.add_parser(
-        "chaos", help="fault-injected run with recovery accounting"
+        "chaos", parents=[common],
+        help="fault-injected run with recovery accounting",
     )
     p_chaos.add_argument(
         "--fault-plan", default="media=0.01,reset_period=0.002",
@@ -170,8 +220,6 @@ def main(argv: list[str] | None = None) -> int:
                          help="sample size in bytes (default 4096)")
     p_chaos.add_argument("--batching", default="chunk",
                          choices=("none", "sample", "chunk"))
-    p_chaos.add_argument("--seed", type=int, default=None,
-                         help="override the plan's fault seed")
 
     p_trace = sub.add_parser(
         "trace", help="observed run: Chrome trace + latency attribution"
@@ -194,7 +242,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="output directory (default results/trace)")
 
     p_serve = sub.add_parser(
-        "serve",
+        "serve", parents=[common],
         help="multi-tenant serving demo: traffic engine + admission + "
              "weighted-fair scheduling, with per-tenant SLO tables",
     )
@@ -202,17 +250,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="arrival window in sim seconds (default 0.05)")
     p_serve.add_argument("--warmup", type=float, default=0.01,
                          help="service-share window start (default 0.01)")
-    p_serve.add_argument("--seed", type=int, default=42,
-                         help="traffic-engine seed (default 42)")
     p_serve.add_argument("--queue-depth", type=int, default=32)
     p_serve.add_argument(
         "--fault-plan", default="zero",
         help="fault plan as for 'chaos'; supports tenant.NAME=rate keys",
     )
-    p_serve.add_argument("--quick", action="store_true",
-                         help="shorter horizon (CI smoke)")
-    p_serve.add_argument("--out", type=pathlib.Path, default=None,
-                         help="write a JSON summary here")
 
     p_lint = sub.add_parser(
         "lint", help="simlint: static determinism analysis (exit 1 on findings)"
@@ -250,12 +292,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="base perturbation seed (default 2019)")
     p_san.add_argument(
         "--scenario",
-        choices=("default", "cluster", "xform", "scale", "all"),
+        choices=("default", "cluster", "xform", "scale", "scenario", "all"),
         default="all",
         help="workload(s) to sweep: the flat datapath smoke, the "
              "cluster crash-during-handoff scenario, the transform-tier "
-             "crash scenario, the hybrid-fidelity scale scenario, or "
-             "all (default all)",
+             "crash scenario, the hybrid-fidelity scale scenario, the "
+             "golden-master scenario pack, or all (default all)",
     )
     p_san.add_argument("--out", type=pathlib.Path, default=None,
                        help="write the JSON report here")
@@ -271,7 +313,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the JSON report here")
 
     p_cluster = sub.add_parser(
-        "cluster",
+        "cluster", parents=[common],
         help="replicated serving tier demo: rendezvous placement, "
              "crash/rejoin failover, hedged reads under live traffic",
     )
@@ -294,15 +336,9 @@ def main(argv: list[str] | None = None) -> int:
                            help="dataset samples (default 8192)")
     p_cluster.add_argument("--horizon", type=float, default=0.02,
                            help="arrival window in sim seconds (default 0.02)")
-    p_cluster.add_argument("--seed", type=int, default=42,
-                           help="traffic-engine seed (default 42)")
-    p_cluster.add_argument("--quick", action="store_true",
-                           help="smaller fleet and dataset (CI smoke)")
-    p_cluster.add_argument("--out", type=pathlib.Path, default=None,
-                           help="write a JSON summary here")
 
     p_xform = sub.add_parser(
-        "xform",
+        "xform", parents=[common],
         help="disaggregated fetch/transform tier: pushdown placement, "
              "chunked fabric transfers, per-tier utilization",
     )
@@ -336,15 +372,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="sample size in bytes (default 65536)")
     p_xform.add_argument("--horizon", type=float, default=0.01,
                          help="arrival window in sim seconds (default 0.01)")
-    p_xform.add_argument("--seed", type=int, default=42,
-                         help="traffic-engine seed (default 42)")
-    p_xform.add_argument("--quick", action="store_true",
-                         help="smaller dataset and horizon (CI smoke)")
-    p_xform.add_argument("--out", type=pathlib.Path, default=None,
-                         help="write a JSON summary here")
 
     p_scale = sub.add_parser(
-        "scale",
+        "scale", parents=[common],
         help="hybrid-fidelity fleet day: fluid bulk lanes + event-accurate "
              "tagged flows over a 1M-user diurnal workload",
     )
@@ -363,18 +393,33 @@ def main(argv: list[str] | None = None) -> int:
     p_scale.add_argument("--tagged", type=int, default=4,
                          help="event-accurate tagged flows per cohort "
                               "(default 4)")
-    p_scale.add_argument("--seed", type=int, default=42,
-                         help="flow-tagging / arrival seed (default 42)")
     p_scale.add_argument("--slice-users", type=int, default=2000,
                          help="equivalence-slice fleet size (default 2000)")
     p_scale.add_argument("--slice-day", type=float, default=600.0,
                          help="equivalence-slice day length (default 600)")
     p_scale.add_argument("--no-check", dest="check", action="store_false",
                          help="skip the slice equivalence gate")
-    p_scale.add_argument("--quick", action="store_true",
-                         help="downscaled day (CI smoke)")
-    p_scale.add_argument("--out", type=pathlib.Path, default=None,
-                         help="write BENCH_scale.json here")
+
+    p_scn = sub.add_parser(
+        "scenario", parents=[common],
+        help="scenario DSL + golden-master harness: run named traffic "
+             "scenarios, record reviewed baselines, check for drift",
+    )
+    p_scn.add_argument("action", choices=("list", "run", "record", "check"),
+                       help="list scenarios; run and print a fingerprint; "
+                            "record golden masters; check against goldens")
+    p_scn.add_argument("names", nargs="*",
+                       help="scenario names (default: the whole pack)")
+    p_scn.add_argument("--label", default="",
+                       help="[record] reviewed one-line justification for "
+                            "the new baseline (required)")
+    p_scn.add_argument("--perturb", type=float, default=0.0,
+                       help="[run/check] scale open-loop rates by "
+                            "1+PERTURB — the drift self-check's injected "
+                            "divergence (default 0)")
+    p_scn.add_argument("--golden-root", type=pathlib.Path, default=None,
+                       help="directory holding scenarios/golden/ "
+                            "(default: the repo root)")
 
     args = parser.parse_args(argv)
 
@@ -404,32 +449,46 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         if args.seed is not None:
             plan = dataclasses.replace(plan, seed=args.seed)
+        samples = 512 if args.quick else args.samples
+        epochs = 1 if args.quick else args.epochs
         t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
         r = dlfs_chaos(
             plan,
             num_nodes=args.nodes,
             sample_bytes=args.size,
-            num_samples=args.samples,
-            epochs=args.epochs,
+            num_samples=samples,
+            epochs=epochs,
             mode=args.batching,
         )
-        print(f"== chaos: {args.nodes} nodes, {args.epochs} epochs, "
-              f"{args.samples} x {args.size} B samples ==")
-        print(f"plan              {plan}")
-        print(f"throughput        {r.sample_throughput:,.0f} samples/s")
-        print(f"delivered         {r.delivered}")
-        print(f"failed            {r.failed}")
-        print(f"expected          {r.expected}  "
-              f"({'accounted' if r.accounted else 'MISMATCH'})")
-        print(f"sim time          {r.sim_time * 1e3:.3f} ms")
-        for key, value in sorted(r.fault_counts.items()):
-            print(f"injected {key:<17} {value}")
-        for key, value in sorted(r.recovery.items()):
-            if key == "degraded_time":
-                print(f"recovery degraded_time     {value * 1e3:.3f} ms")
-            else:
-                print(f"recovery {key:<17} {value}")
-        print(f"\n[chaos in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        if not args.json:
+            print(f"== chaos: {args.nodes} nodes, {epochs} epochs, "
+                  f"{samples} x {args.size} B samples ==")
+            print(f"plan              {plan}")
+            print(f"throughput        {r.sample_throughput:,.0f} samples/s")
+            print(f"delivered         {r.delivered}")
+            print(f"failed            {r.failed}")
+            print(f"expected          {r.expected}  "
+                  f"({'accounted' if r.accounted else 'MISMATCH'})")
+            print(f"sim time          {r.sim_time * 1e3:.3f} ms")
+            for key, value in sorted(r.fault_counts.items()):
+                print(f"injected {key:<17} {value}")
+            for key, value in sorted(r.recovery.items()):
+                if key == "degraded_time":
+                    print(f"recovery degraded_time     {value * 1e3:.3f} ms")
+                else:
+                    print(f"recovery {key:<17} {value}")
+        _write_json(args.out, {
+            "delivered": r.delivered,
+            "failed": r.failed,
+            "expected": r.expected,
+            "accounted": r.accounted,
+            "sim_time": r.sim_time,
+            "sample_throughput": r.sample_throughput,
+            "fault_counts": dict(r.fault_counts),
+            "recovery": dict(r.recovery),
+        }, args.json)
+        if not args.json:
+            print(f"\n[chaos in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0 if r.accounted else 1
 
     if args.command == "trace":
@@ -490,8 +549,6 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "serve":
-        import json
-
         from .bench.workloads import dlfs_tenancy
         from .errors import ConfigError
         from .faults import parse_fault_plan
@@ -502,49 +559,48 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigError as exc:
             print(f"error: --fault-plan: {exc}", file=sys.stderr)
             return 2
+        seed = 42 if args.seed is None else args.seed
         horizon = 0.02 if args.quick else args.horizon
         warmup = min(args.warmup, horizon / 5)
         t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
         r = dlfs_tenancy(
-            horizon=horizon, warmup=warmup, seed=args.seed,
+            horizon=horizon, warmup=warmup, seed=seed,
             queue_depth=args.queue_depth,
             fault_plan=None if plan.is_zero else plan,
         )
-        print(f"== serve: 3 tenants, horizon {horizon * 1e3:.0f} ms, "
-              f"seed {args.seed} ==")
-        print(f"throughput        {r.sample_throughput:,.0f} samples/s")
-        print(f"delivered         {r.delivered}")
-        if r.failed:
-            print(f"failed            {r.failed}")
-        if r.rejected_jobs:
-            print(f"rejected jobs     {r.rejected_jobs}")
-        print(f"sim time          {r.sim_time * 1e3:.3f} ms")
-        print(f"preemptions       {r.preemptions}  "
-              f"(forced anti-starvation serves: {r.forced_serves})")
-        print()
-        print(render_tenants(
-            r.window_rows,
-            title="saturation window (arrival-horizon edge)",
-            service_shares=r.service_shares,
-        ))
-        print()
-        print(render_tenants(r.per_tenant, title="full run (after drain)"))
-        if args.out is not None:
-            args.out.parent.mkdir(parents=True, exist_ok=True)
-            summary = {
-                "delivered": r.delivered,
-                "failed": r.failed,
-                "rejected_jobs": r.rejected_jobs,
-                "sim_time": r.sim_time,
-                "service_shares": r.service_shares,
-                "preemptions": r.preemptions,
-                "forced_serves": r.forced_serves,
-                "window_rows": list(r.window_rows),
-                "per_tenant": list(r.per_tenant),
-            }
-            args.out.write_text(json.dumps(summary, indent=2) + "\n")
-            print(f"\nwrote {args.out}")
-        print(f"[serve in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        if not args.json:
+            print(f"== serve: 3 tenants, horizon {horizon * 1e3:.0f} ms, "
+                  f"seed {seed} ==")
+            print(f"throughput        {r.sample_throughput:,.0f} samples/s")
+            print(f"delivered         {r.delivered}")
+            if r.failed:
+                print(f"failed            {r.failed}")
+            if r.rejected_jobs:
+                print(f"rejected jobs     {r.rejected_jobs}")
+            print(f"sim time          {r.sim_time * 1e3:.3f} ms")
+            print(f"preemptions       {r.preemptions}  "
+                  f"(forced anti-starvation serves: {r.forced_serves})")
+            print()
+            print(render_tenants(
+                r.window_rows,
+                title="saturation window (arrival-horizon edge)",
+                service_shares=r.service_shares,
+            ))
+            print()
+            print(render_tenants(r.per_tenant, title="full run (after drain)"))
+        _write_json(args.out, {
+            "delivered": r.delivered,
+            "failed": r.failed,
+            "rejected_jobs": r.rejected_jobs,
+            "sim_time": r.sim_time,
+            "service_shares": r.service_shares,
+            "preemptions": r.preemptions,
+            "forced_serves": r.forced_serves,
+            "window_rows": list(r.window_rows),
+            "per_tenant": list(r.per_tenant),
+        }, args.json)
+        if not args.json:
+            print(f"[serve in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0
 
     if args.command == "lint":
@@ -633,6 +689,7 @@ def main(argv: list[str] | None = None) -> int:
             cluster_crash_workload,
             default_workload,
             scale_hybrid_workload,
+            scenario_pack_workload,
             xform_crash_workload,
         )
 
@@ -641,6 +698,7 @@ def main(argv: list[str] | None = None) -> int:
             "cluster": cluster_crash_workload,
             "xform": xform_crash_workload,
             "scale": scale_hybrid_workload,
+            "scenario": scenario_pack_workload,
         }
         selected = (
             list(scenarios) if args.scenario == "all" else [args.scenario]
@@ -683,8 +741,6 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if report.ok else 1
 
     if args.command == "cluster":
-        import json
-
         from .bench.workloads import dlfs_cluster
         from .errors import ConfigError
         from .obs import render_cluster
@@ -694,6 +750,7 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"error: --crash: {exc}", file=sys.stderr)
             return 2
+        seed = 42 if args.seed is None else args.seed
         storage = 4 if args.quick else args.storage
         clients = 1 if args.quick else args.clients
         samples = 2048 if args.quick else args.samples
@@ -703,56 +760,52 @@ def main(argv: list[str] | None = None) -> int:
             r = dlfs_cluster(
                 num_storage=storage, num_clients=clients,
                 replicas=args.replicas, num_samples=samples,
-                horizon=horizon, seed=args.seed, node_crashes=crashes,
+                horizon=horizon, seed=seed, node_crashes=crashes,
                 hedge_delay=args.hedge, read_cache_chunks=args.read_cache,
             )
         except ConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(f"== cluster: {storage} storage nodes, {clients} client(s), "
-              f"R={args.replicas}, horizon {horizon * 1e3:.0f} ms, "
-              f"seed {args.seed} ==")
-        print(f"throughput        {r.sample_throughput:,.0f} samples/s")
-        print(f"delivered         {r.delivered}")
-        if r.failed:
-            print(f"failed            {r.failed}")
-        print(f"jobs              {r.jobs}")
-        print(f"sim time          {r.sim_time * 1e3:.3f} ms")
-        print()
-        print(render_cluster(
-            r.balancer.get("routed", {}), r.recovery, r.lifecycle,
-        ))
-        if r.per_tenant:
-            from .obs import render_tenants
-
+        if not args.json:
+            print(f"== cluster: {storage} storage nodes, {clients} "
+                  f"client(s), R={args.replicas}, horizon "
+                  f"{horizon * 1e3:.0f} ms, seed {seed} ==")
+            print(f"throughput        {r.sample_throughput:,.0f} samples/s")
+            print(f"delivered         {r.delivered}")
+            if r.failed:
+                print(f"failed            {r.failed}")
+            print(f"jobs              {r.jobs}")
+            print(f"sim time          {r.sim_time * 1e3:.3f} ms")
             print()
-            print(render_tenants(r.per_tenant, title="per-tenant (merged)"))
-        if args.out is not None:
-            args.out.parent.mkdir(parents=True, exist_ok=True)
-            summary = {
-                "storage": storage,
-                "clients": clients,
-                "replicas": args.replicas,
-                "delivered": r.delivered,
-                "failed": r.failed,
-                "jobs": r.jobs,
-                "sim_time": r.sim_time,
-                "sample_throughput": r.sample_throughput,
-                "balancer": r.balancer,
-                "recovery": r.recovery,
-                "lifecycle": r.lifecycle,
-                "per_tenant": list(r.per_tenant),
-            }
-            args.out.write_text(
-                json.dumps(summary, indent=2, default=str) + "\n"
-            )
-            print(f"\nwrote {args.out}")
-        print(f"[cluster in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+            print(render_cluster(
+                r.balancer.get("routed", {}), r.recovery, r.lifecycle,
+            ))
+            if r.per_tenant:
+                from .obs import render_tenants
+
+                print()
+                print(render_tenants(
+                    r.per_tenant, title="per-tenant (merged)"
+                ))
+        _write_json(args.out, {
+            "storage": storage,
+            "clients": clients,
+            "replicas": args.replicas,
+            "delivered": r.delivered,
+            "failed": r.failed,
+            "jobs": r.jobs,
+            "sim_time": r.sim_time,
+            "sample_throughput": r.sample_throughput,
+            "balancer": r.balancer,
+            "recovery": r.recovery,
+            "lifecycle": r.lifecycle,
+            "per_tenant": list(r.per_tenant),
+        }, args.json)
+        if not args.json:
+            print(f"[cluster in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0
 
     if args.command == "xform":
-        import json
-
         from .bench.workloads import dlfs_xform
         from .errors import ConfigError
         from .obs import render_tenants, render_xform
@@ -763,6 +816,7 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"error: --crash: {exc}", file=sys.stderr)
             return 2
+        seed = 42 if args.seed is None else args.seed
         samples = 1024 if args.quick else args.samples
         horizon = 0.005 if args.quick else args.horizon
         t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
@@ -781,95 +835,97 @@ def main(argv: list[str] | None = None) -> int:
             r = dlfs_xform(
                 num_storage=args.storage, num_clients=args.clients,
                 num_samples=samples, sample_bytes=args.size,
-                horizon=horizon, seed=args.seed, spec=spec,
+                horizon=horizon, seed=seed, spec=spec,
                 xform_crashes=crashes,
             )
         except ConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(f"== xform: {args.storage} storage + "
-              f"{args.workers if spec else 0} transform nodes, "
-              f"{args.clients} client(s), stages '{args.stages}', "
-              f"placement {args.placement}, horizon {horizon * 1e3:.0f} ms, "
-              f"seed {args.seed} ==")
-        print(f"throughput        {r.sample_throughput:,.0f} samples/s")
-        print(f"delivered         {r.delivered}")
-        if r.failed:
-            print(f"failed            {r.failed}")
-        print(f"jobs              {r.jobs}")
-        print(f"sim time          {r.sim_time * 1e3:.3f} ms")
-        print()
-        print(render_xform(r.tier, r.utilization, r.links, r.routed))
-        if r.per_tenant:
+        if not args.json:
+            print(f"== xform: {args.storage} storage + "
+                  f"{args.workers if spec else 0} transform nodes, "
+                  f"{args.clients} client(s), stages '{args.stages}', "
+                  f"placement {args.placement}, horizon "
+                  f"{horizon * 1e3:.0f} ms, seed {seed} ==")
+            print(f"throughput        {r.sample_throughput:,.0f} samples/s")
+            print(f"delivered         {r.delivered}")
+            if r.failed:
+                print(f"failed            {r.failed}")
+            print(f"jobs              {r.jobs}")
+            print(f"sim time          {r.sim_time * 1e3:.3f} ms")
             print()
-            print(render_tenants(r.per_tenant, title="per-tenant (merged)"))
-        if args.out is not None:
-            args.out.parent.mkdir(parents=True, exist_ok=True)
-            summary = {
-                "storage": args.storage,
-                "workers": args.workers if spec else 0,
-                "clients": args.clients,
-                "stages": args.stages,
-                "placement": args.placement,
-                "packed": args.packed,
-                "delivered": r.delivered,
-                "failed": r.failed,
-                "jobs": r.jobs,
-                "sim_time": r.sim_time,
-                "sample_throughput": r.sample_throughput,
-                "tier": r.tier,
-                "links": list(r.links),
-                "utilization": list(r.utilization),
-                "routed": r.routed,
-                "per_tenant": list(r.per_tenant),
-            }
-            args.out.write_text(
-                json.dumps(summary, indent=2, default=str) + "\n"
-            )
-            print(f"\nwrote {args.out}")
-        print(f"[xform in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+            print(render_xform(r.tier, r.utilization, r.links, r.routed))
+            if r.per_tenant:
+                print()
+                print(render_tenants(
+                    r.per_tenant, title="per-tenant (merged)"
+                ))
+        _write_json(args.out, {
+            "storage": args.storage,
+            "workers": args.workers if spec else 0,
+            "clients": args.clients,
+            "stages": args.stages,
+            "placement": args.placement,
+            "packed": args.packed,
+            "delivered": r.delivered,
+            "failed": r.failed,
+            "jobs": r.jobs,
+            "sim_time": r.sim_time,
+            "sample_throughput": r.sample_throughput,
+            "tier": r.tier,
+            "links": list(r.links),
+            "utilization": list(r.utilization),
+            "routed": r.routed,
+            "per_tenant": list(r.per_tenant),
+        }, args.json)
+        if not args.json:
+            print(f"[xform in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0
 
     if args.command == "scale":
         import dataclasses
-        import json
 
         from .errors import ConfigError
         from .sim.fluid import ScaleSpec, equivalence_check, run_scale
+
+        def say(*a, **k):
+            if not args.json:
+                print(*a, **k)
 
         users = 50_000 if args.quick else args.users
         day = 7200.0 if args.quick else args.day
         spec = ScaleSpec(
             users=users, cohorts=args.cohorts, day=day, lanes=args.lanes,
             rate_per_user=args.rate, sample_bytes=args.size,
-            tagged_per_cohort=args.tagged, seed=args.seed,
+            tagged_per_cohort=args.tagged,
+            seed=42 if args.seed is None else args.seed,
         )
         try:
             spec.validate()
         except ConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(f"== scale: {spec.users:,} users, {spec.cohorts} cohorts, "
-              f"{spec.lanes} lanes, {spec.day:,.0f} s day, "
-              f"seed {spec.seed} ==")
+        say(f"== scale: {spec.users:,} users, {spec.cohorts} cohorts, "
+            f"{spec.lanes} lanes, {spec.day:,.0f} s day, "
+            f"seed {spec.seed} ==")
         t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
         hybrid = run_scale(spec, mode="hybrid")
         hybrid_wall = time.time() - t0  # simlint: disable=SL101 -- CLI progress timing, not sim state
         total_requests = hybrid.bulk_requests + len(hybrid.tagged)
-        print(f"hybrid wall       {hybrid_wall:.2f} s")
-        print(f"events scheduled  {hybrid.events_scheduled:,}")
-        print(f"bulk requests     {hybrid.bulk_requests:,} "
-              f"({hybrid.bulk_bytes / 1e12:.2f} TB)")
-        print(f"events elided     {hybrid.elide_ratio:.4f} of bulk requests")
+        say(f"hybrid wall       {hybrid_wall:.2f} s")
+        say(f"events scheduled  {hybrid.events_scheduled:,}")
+        say(f"bulk requests     {hybrid.bulk_requests:,} "
+            f"({hybrid.bulk_bytes / 1e12:.2f} TB)")
+        say(f"events elided     {hybrid.elide_ratio:.4f} of bulk requests")
         pct = hybrid.tagged_percentiles()
         if pct.get("count"):
-            print(f"tagged flows      {pct['count']:,} requests | "
-                  f"p50 {pct['p50'] * 1e3:.3f} ms  "
-                  f"p90 {pct['p90'] * 1e3:.3f} ms  "
-                  f"p99 {pct['p99'] * 1e3:.3f} ms  "
-                  f"p999 {pct['p999'] * 1e3:.3f} ms")
-            print(f"SLO violations    {pct['slo_violations']:,} "
-                  f"(bound {spec.slo * 1e3:.1f} ms)")
+            say(f"tagged flows      {pct['count']:,} requests | "
+                f"p50 {pct['p50'] * 1e3:.3f} ms  "
+                f"p90 {pct['p90'] * 1e3:.3f} ms  "
+                f"p99 {pct['p99'] * 1e3:.3f} ms  "
+                f"p999 {pct['p999'] * 1e3:.3f} ms")
+            say(f"SLO violations    {pct['slo_violations']:,} "
+                f"(bound {spec.slo * 1e3:.1f} ms)")
         # Extrapolate the all-event cost from a downscaled slice: measure
         # its event throughput, scale by the full run's request count.
         slice_spec = spec.sliced(
@@ -884,49 +940,167 @@ def main(argv: list[str] | None = None) -> int:
         events_per_s = ev.events_scheduled / slice_wall
         est_event_wall = events_per_req * total_requests / events_per_s
         speedup = est_event_wall / max(hybrid_wall, 1e-9)
-        print(f"slice (all-event) {slice_spec.users:,} users / "
-              f"{slice_spec.day:,.0f} s: {ev.events_scheduled:,} events "
-              f"in {slice_wall:.2f} s")
-        print(f"extrapolated all-event wall  {est_event_wall:,.0f} s")
-        print(f"speedup vs all-event         {speedup:,.0f}x")
+        say(f"slice (all-event) {slice_spec.users:,} users / "
+            f"{slice_spec.day:,.0f} s: {ev.events_scheduled:,} events "
+            f"in {slice_wall:.2f} s")
+        say(f"extrapolated all-event wall  {est_event_wall:,.0f} s")
+        say(f"speedup vs all-event         {speedup:,.0f}x")
         check = None
         if args.check:
             t2 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
             check = equivalence_check(slice_spec)
             verdict = "PASS" if check["ok"] else "FAIL"
-            print(f"equivalence gate  {verdict} "
-                  f"(order {check['order_digest'][:12]}, "
-                  f"latency {check['latency_digest'][:12]}, "
-                  f"eps {check['epsilon']:g})")
+            say(f"equivalence gate  {verdict} "
+                f"(order {check['order_digest'][:12]}, "
+                f"latency {check['latency_digest'][:12]}, "
+                f"eps {check['epsilon']:g})")
             for f in check["failures"]:
-                print(f"  FAIL: {f}")
-            print(f"[equivalence in {time.time() - t2:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+                say(f"  FAIL: {f}")
+            say(f"[equivalence in {time.time() - t2:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         ok = (check is None or check["ok"]) and speedup >= 20.0
-        if args.out is not None:
-            args.out.parent.mkdir(parents=True, exist_ok=True)
-            blob = {
-                "ok": ok,
-                "spec": dataclasses.asdict(spec),
-                "hybrid": hybrid.summary(),
-                "hybrid_wall_s": hybrid_wall,
-                "slice": {
-                    "users": slice_spec.users,
-                    "day": slice_spec.day,
-                    "events": ev.events_scheduled,
-                    "wall_s": slice_wall,
-                    "events_per_s": events_per_s,
-                    "events_per_request": events_per_req,
-                },
-                "extrapolated_event_wall_s": est_event_wall,
-                "speedup": speedup,
-                "equivalence": check,
-            }
-            args.out.write_text(
-                json.dumps(blob, indent=2, default=str) + "\n"
-            )
-            print(f"wrote {args.out}")
-        print(f"[scale in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        _write_json(args.out, {
+            "ok": ok,
+            "spec": dataclasses.asdict(spec),
+            "hybrid": hybrid.summary(),
+            "hybrid_wall_s": hybrid_wall,
+            "slice": {
+                "users": slice_spec.users,
+                "day": slice_spec.day,
+                "events": ev.events_scheduled,
+                "wall_s": slice_wall,
+                "events_per_s": events_per_s,
+                "events_per_request": events_per_req,
+            },
+            "extrapolated_event_wall_s": est_event_wall,
+            "speedup": speedup,
+            "equivalence": check,
+        }, args.json)
+        say(f"[scale in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
         return 0 if ok else 1
+
+    if args.command == "scenario":
+        from .errors import ConfigError
+        from .scenarios import (
+            SCENARIOS,
+            compare_fingerprints,
+            fingerprint_digest,
+            get_scenario,
+            golden_path,
+            load_golden,
+            render_drifts,
+            run_scenario,
+            write_golden,
+        )
+
+        root = (
+            str(args.golden_root) if args.golden_root is not None else None
+        )
+        try:
+            names = list(args.names) if args.names else sorted(SCENARIOS)
+            scns = [get_scenario(n) for n in names]
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+        if args.action == "list":
+            rows = []
+            for scn in scns:
+                has_golden = pathlib.Path(golden_path(scn.name, root)).exists()
+                rows.append({
+                    "name": scn.name,
+                    "engine": scn.engine,
+                    "title": scn.title,
+                    "tenants": len(scn.tenants),
+                    "phases": [p.name for p in scn.phases],
+                    "events": len(scn.events),
+                    "golden": has_golden,
+                })
+            if not args.json:
+                for row in rows:
+                    mark = "golden" if row["golden"] else "no golden"
+                    print(f"{row['name']:<18} {row['engine']:<8} "
+                          f"[{mark:<9}] {row['title']}")
+            _write_json(args.out, rows, args.json)
+            return 0
+
+        t0 = time.time()  # simlint: disable=SL101 -- CLI progress timing, not sim state
+
+        if args.action == "run":
+            blob = {}
+            for scn in scns:
+                fp = run_scenario(
+                    scn, quick=args.quick, seed=args.seed,
+                    perturb=args.perturb,
+                )
+                blob[scn.name] = fp
+                if not args.json:
+                    print(f"{scn.name:<18} [{fp['mode']}] "
+                          f"digest {fingerprint_digest(fp)[:16]}  "
+                          f"sim_time {fp['sim_time']:.6g} s")
+            _write_json(args.out, blob, args.json)
+            if not args.json:
+                print(f"[scenario run in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+            return 0
+
+        if args.action == "record":
+            try:
+                for scn in scns:
+                    recorded = {}
+                    for mode in ("quick", "full"):
+                        recorded[mode] = run_scenario(
+                            scn, quick=(mode == "quick"), seed=args.seed,
+                        )
+                    path = write_golden(scn.name, args.label, recorded, root)
+                    if not args.json:
+                        print(f"recorded {scn.name} -> {path}")
+            except ConfigError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if not args.json:
+                print(f"[scenario record in {time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+            return 0
+
+        # check: rerun and diff against the committed goldens.
+        report: dict = {}
+        failures = 0
+        for scn in scns:
+            try:
+                doc = load_golden(scn.name, root)
+            except ConfigError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            modes = ("quick",) if args.quick else ("quick", "full")
+            for mode in modes:
+                golden = doc["recorded"].get(mode)
+                if golden is None:
+                    print(f"error: golden for {scn.name!r} has no "
+                          f"{mode!r} fingerprint — re-record it",
+                          file=sys.stderr)
+                    return 2
+                fp = run_scenario(
+                    scn, quick=(mode == "quick"), seed=args.seed,
+                    perturb=args.perturb,
+                )
+                drifts = compare_fingerprints(golden, fp)
+                if drifts:
+                    failures += 1
+                if not args.json:
+                    print(render_drifts(
+                        scn.name, mode, drifts,
+                        label=doc.get("label", ""),
+                    ))
+                report.setdefault(scn.name, {})[mode] = {
+                    "ok": not drifts,
+                    "label": doc.get("label", ""),
+                    "drifts": [d.as_dict() for d in drifts],
+                }
+        _write_json(args.out, report, args.json)
+        if not args.json:
+            verdict = "FAIL" if failures else "PASS"
+            print(f"scenario check: {verdict} "
+                  f"({len(scns)} scenario(s), {failures} drifted run(s)) "
+                  f"[{time.time() - t0:.1f}s]")  # simlint: disable=SL101 -- CLI progress timing, not sim state
+        return 1 if failures else 0
 
     if args.command in ("all", "claims"):
         headline_only = args.command == "claims"

@@ -500,6 +500,11 @@ class ClusterLifecycle:
         self.handoffs_aborted = 0
         self.handoff_bytes = 0
         self.rewarms = 0
+        #: Shards with a handoff copy in flight.  An aborting handoff only
+        #: notices the rejoin at its next chunk boundary; without this guard
+        #: a crash of the shard's other replica in that gap would graft the
+        #: same (shard, standby) slot twice and the two aborts would race.
+        self._handoff_live: set = set()
         for entry in crashes:
             lane, crash_time, rejoin_time = entry
             if lane not in self.state.alive:
@@ -569,8 +574,19 @@ class ClusterLifecycle:
             )
 
     # -- shard handoff ---------------------------------------------------------
+
+    #: Every handoff a crash triggers would otherwise start at the crash
+    #: instant — their first device commands (and, when two nodes die in
+    #: the same tick, their liveness snapshots) would race at identical
+    #: timestamps, and same-tick ordering is sanitizer-perturbed.  A
+    #: shard-keyed stagger gives each copy its own start instant, after
+    #: every same-tick crash event has settled (same idea as the traffic
+    #: engine's WORKER_START_STAGGER).
+    HANDOFF_START_STAGGER = 100e-9
+
     def _handoff(self, shard: int, dead_lane: int):
         """Copy a dead lane's shard to its ring standby, chunk by chunk."""
+        yield self.env.timeout((shard + 1) * self.HANDOFF_START_STAGGER)
         sources = [
             l
             for l in self.state.shard_map.replicas_of(shard)
@@ -581,6 +597,9 @@ class ClusterLifecycle:
             return
         if self.state._standby.get(shard) == standby:
             return  # already grafted by an earlier crash
+        if shard in self._handoff_live:
+            return  # a copy for this shard is already in flight
+        self._handoff_live.add(shard)
         src = sources[0]
         span = None
         if self.tracer.enabled:
@@ -601,6 +620,7 @@ class ClusterLifecycle:
             if self.state.alive[dead_lane]:
                 # Rejoin won the race: abort, roll the graft back.
                 self.handoffs_aborted += 1
+                self._handoff_live.discard(shard)
                 del self.state._base[(shard, standby)]
                 if span is not None:
                     span.finish(status="aborted_rejoin")
@@ -615,6 +635,7 @@ class ClusterLifecycle:
             copied += step
             self.handoff_bytes += step
         self.state.promote_standby(shard, standby)
+        self._handoff_live.discard(shard)
         self.handoffs_completed += 1
         if span is not None:
             span.finish(status="ok")

@@ -1,0 +1,60 @@
+"""Scenario DSL + golden-master regression harness.
+
+Declarative, seeded scenarios (phased traffic shapes, tenant churn,
+dataset hot-swaps, node/worker/lane outages, slow-drip media faults)
+compile onto the existing engines — tenancy, cluster, xform, and the
+hybrid-fidelity fluid engine — and every run folds into a deterministic
+fingerprint.  Committed golden masters under ``scenarios/golden/`` turn
+those fingerprints into a regression spine: ``python -m repro scenario
+check`` fails on any drift with an attribution diff naming the metric,
+the layer, and the phase window that moved.
+"""
+
+from .compile import (
+    compile_crashes,
+    compile_envelopes,
+    compile_fault_plan,
+    compile_scale_spec,
+    compile_workloads,
+    split_workload_name,
+)
+from .dsl import EventSpec, PhaseSpec, PhaseStep, Scenario, TenantDef, realize_phases
+from .golden import (
+    Drift,
+    compare_fingerprints,
+    golden_dir,
+    golden_path,
+    load_golden,
+    render_drifts,
+    write_golden,
+)
+from .pack import SCENARIOS, get_scenario, rolling_upgrade, scenario_names
+from .runner import fingerprint_digest, run_scenario
+
+__all__ = [
+    "Scenario",
+    "PhaseSpec",
+    "PhaseStep",
+    "TenantDef",
+    "EventSpec",
+    "realize_phases",
+    "compile_workloads",
+    "compile_fault_plan",
+    "compile_crashes",
+    "compile_envelopes",
+    "compile_scale_spec",
+    "split_workload_name",
+    "run_scenario",
+    "fingerprint_digest",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+    "rolling_upgrade",
+    "golden_dir",
+    "golden_path",
+    "load_golden",
+    "write_golden",
+    "compare_fingerprints",
+    "render_drifts",
+    "Drift",
+]

@@ -1,0 +1,331 @@
+"""The shipped scenario pack: production traffic shapes as regression spine.
+
+Eight named scenarios spanning the four engines.  Each is small enough
+to run in seconds at full scale (golden `check` runs every one twice)
+yet exercises a distinct production shape the ROADMAP calls for:
+
+=================  =======  ==================================================
+name               engine   shape under test
+=================  =======  ==================================================
+flash-crowd        tenancy  ramp/hold/decay surge on an SLO-bound API tenant
+tenant-churn       tenancy  mid-run tenant arrival and departure
+dataset-hotswap    tenancy  reader flips to a new sample range mid-run
+media-slow-drip    tenancy  per-tenant media error rate ramping from zero
+rolling-upgrade    cluster  staggered node crash/rejoin wave under traffic
+regional-failover  cluster  two nodes (a "region") down and back together
+pushdown-surge     xform    load surge + transform-worker crash/re-dispatch
+diurnal-day        fluid    hybrid-fidelity day: diurnal + churn + outage
+=================  =======  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from .dsl import EventSpec, PhaseSpec, Scenario, TenantDef
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names", "rolling_upgrade"]
+
+
+def rolling_upgrade(
+    nodes: int, start: float, stagger: float, downtime: float
+) -> Tuple[EventSpec, ...]:
+    """One crash/rejoin event per node, ``stagger`` apart — an upgrade wave."""
+    events = []
+    for i in range(nodes):
+        at = start + i * stagger
+        until = at + downtime
+        if until > 1.0:
+            raise ConfigError("rolling upgrade wave runs past the horizon")
+        events.append(EventSpec("node_crash", at=at, until=until, target=i))
+    return tuple(events)
+
+
+def _pack() -> Dict[str, Scenario]:
+    scenarios = [
+        Scenario(
+            name="flash-crowd",
+            engine="tenancy",
+            title="Flash crowd on an SLO-bound API tenant",
+            description=(
+                "A steady API tenant surges to 3.5x over a ramp, holds the "
+                "peak, and decays back while a low-priority bursty scan "
+                "tenant keeps its background load. Checks surge admission, "
+                "tail latencies per phase, and fair-queue isolation."
+            ),
+            horizon=0.04,
+            tenants=(
+                TenantDef(
+                    name="api", kind="poisson", rate=2500.0, batch=4,
+                    weight=2.0, slo_latency=2e-3, range_lo=0.0, range_hi=0.5,
+                ),
+                TenantDef(
+                    name="scan", kind="bursty", rate=400.0, batch=16,
+                    weight=0.5, priority=2, range_lo=0.5, range_hi=1.0,
+                ),
+            ),
+            phases=(
+                PhaseSpec("steady", duration=2.0),
+                PhaseSpec("surge", duration=1.0, shape="ramp", level=3.5, steps=3),
+                PhaseSpec("peak", duration=1.0, level=3.5),
+                PhaseSpec("decay", duration=1.0, shape="ramp", level=1.0, steps=3),
+            ),
+        ),
+        Scenario(
+            name="tenant-churn",
+            engine="tenancy",
+            title="Tenant arrival and departure mid-run",
+            description=(
+                "An anchor tenant serves throughout; a newcomer joins at "
+                "35% of the run and a leaver departs at 60%. Checks that "
+                "shares re-converge and nobody's tail moves when the mix "
+                "changes."
+            ),
+            horizon=0.04,
+            tenants=(
+                TenantDef(
+                    name="anchor", kind="poisson", rate=1500.0, batch=8,
+                    weight=2.0, slo_latency=5e-3, range_lo=0.0, range_hi=0.4,
+                ),
+                TenantDef(
+                    name="newcomer", kind="poisson", rate=1200.0, batch=8,
+                    join=0.35, range_lo=0.4, range_hi=0.7,
+                ),
+                TenantDef(
+                    name="leaver", kind="poisson", rate=1200.0, batch=8,
+                    leave=0.6, range_lo=0.7, range_hi=1.0,
+                ),
+            ),
+            phases=(
+                PhaseSpec("early", duration=1.0),
+                PhaseSpec("late", duration=1.0),
+            ),
+        ),
+        Scenario(
+            name="dataset-hotswap",
+            engine="tenancy",
+            title="Dataset hot-swap under a training neighbor",
+            description=(
+                "An open-loop reader flips from the first dataset half to "
+                "the second at the midpoint (a new dataset version going "
+                "live) while a closed-loop trainer keeps its cache-resident "
+                "epoch walk. Checks the swap is clean in the sample-order "
+                "witness and the trainer is unperturbed."
+            ),
+            horizon=0.04,
+            tenants=(
+                TenantDef(
+                    name="reader", kind="poisson", rate=2000.0, batch=8,
+                    range_lo=0.0, range_hi=0.5,
+                    swap_at=0.5, swap_lo=0.5, swap_hi=1.0,
+                ),
+                TenantDef(
+                    name="trainer", kind="train", batch=16, concurrency=2,
+                    weight=2.0, range_lo=0.0, range_hi=0.5,
+                ),
+            ),
+            phases=(
+                PhaseSpec("v1", duration=1.0),
+                PhaseSpec("v2", duration=1.0),
+            ),
+        ),
+        Scenario(
+            name="media-slow-drip",
+            engine="tenancy",
+            title="Slow-drip media degradation on one tenant",
+            description=(
+                "A victim tenant's media error rate ramps linearly from "
+                "zero to 15% across the run (a device dying slowly); a "
+                "bystander shares the node. Checks failures concentrate in "
+                "late phases and the bystander's counters stay clean."
+            ),
+            horizon=0.04,
+            tenants=(
+                TenantDef(
+                    name="victim", kind="poisson", rate=2000.0, batch=8,
+                    fault_rate=0.15, range_lo=0.0, range_hi=0.5,
+                ),
+                TenantDef(
+                    name="bystander", kind="poisson", rate=1000.0, batch=8,
+                    range_lo=0.5, range_hi=1.0,
+                ),
+            ),
+            phases=(
+                PhaseSpec("clean", duration=1.0),
+                PhaseSpec("drip", duration=1.0),
+                PhaseSpec("sick", duration=1.0),
+            ),
+        ),
+        Scenario(
+            name="rolling-upgrade",
+            engine="cluster",
+            title="Rolling node upgrade wave under live traffic",
+            description=(
+                "Four replicated storage nodes take a staggered "
+                "crash/rejoin wave (an in-place upgrade) while a trainer "
+                "and an SLO-bound server keep their traffic up. Checks "
+                "zero-loss failover, handoff/rewarm counts, and bounded "
+                "per-phase tails. Single client: like the sanitizer sweep "
+                "targets, cluster scenarios falsify tiebreak dependence in "
+                "the failover datapath, not arrival races between "
+                "symmetric clients."
+            ),
+            horizon=0.02,
+            num_samples=4096,
+            sample_bytes=32 * 1024,
+            storage=4,
+            clients=1,
+            replicas=2,
+            tenants=(
+                TenantDef(
+                    name="train", kind="train", batch=16, concurrency=4,
+                    weight=2.0, slo_latency=5e-3, range_lo=0.0, range_hi=0.5,
+                ),
+                TenantDef(
+                    name="serve", kind="poisson", rate=1500.0, batch=8,
+                    slo_latency=2e-3, range_lo=0.5, range_hi=1.0,
+                ),
+            ),
+            phases=(
+                PhaseSpec("wave1", duration=1.0),
+                PhaseSpec("wave2", duration=1.0),
+            ),
+            events=rolling_upgrade(4, start=0.12, stagger=0.21, downtime=0.07),
+        ),
+        Scenario(
+            name="regional-failover",
+            engine="cluster",
+            title="Regional failover: two nodes down together",
+            description=(
+                "Nodes 4 and 5 of six (a 'region') crash at the same "
+                "instant and rejoin together later. Shards with both "
+                "replicas in the region park until rejoin; everything else "
+                "fails over. Checks no loss, recovery accounting, and the "
+                "outage phase's tail. Single client, same envelope rationale "
+                "as rolling-upgrade."
+            ),
+            horizon=0.02,
+            num_samples=4096,
+            sample_bytes=32 * 1024,
+            storage=6,
+            clients=1,
+            replicas=2,
+            tenants=(
+                TenantDef(
+                    name="train", kind="train", batch=16, concurrency=4,
+                    weight=2.0, range_lo=0.0, range_hi=0.5,
+                ),
+                TenantDef(
+                    name="serve", kind="poisson", rate=2500.0, batch=8,
+                    slo_latency=2e-3, range_lo=0.5, range_hi=1.0,
+                ),
+            ),
+            phases=(
+                PhaseSpec("pre", duration=1.0),
+                PhaseSpec("outage", duration=1.0),
+                PhaseSpec("post", duration=1.0),
+            ),
+            events=(
+                EventSpec("node_crash", at=0.35, until=0.65, target=4),
+                EventSpec("node_crash", at=0.35, until=0.65, target=5),
+            ),
+        ),
+        Scenario(
+            name="pushdown-surge",
+            engine="xform",
+            title="Transform-tier surge with a worker crash",
+            description=(
+                "Inference load ramps to 2.5x through the pushdown "
+                "transform tier while transform worker 0 crashes mid-surge "
+                "and rejoins. Checks re-dispatch accounting, transform-wait "
+                "tails per phase, and the cost-placement boundary under "
+                "pressure."
+            ),
+            horizon=0.01,
+            num_samples=2048,
+            sample_bytes=64 * 1024,
+            storage=2,
+            clients=2,
+            replicas=1,
+            stages="parse,augment:0.5",
+            workers=2,
+            tenants=(
+                TenantDef(
+                    name="train", kind="train", batch=16, concurrency=4,
+                    weight=2.0, range_lo=0.0, range_hi=0.5,
+                ),
+                TenantDef(
+                    name="infer", kind="poisson", rate=2000.0, batch=8,
+                    slo_latency=5e-3, range_lo=0.5, range_hi=1.0,
+                ),
+            ),
+            phases=(
+                PhaseSpec("ramp", duration=1.0, shape="ramp", level=2.5, steps=3),
+                PhaseSpec("surge", duration=1.0, level=2.5),
+                PhaseSpec("cool", duration=1.0, shape="ramp", level=1.0, steps=2),
+            ),
+            events=(
+                EventSpec("worker_crash", at=0.3, until=0.6, target=0),
+            ),
+        ),
+        Scenario(
+            name="diurnal-day",
+            engine="fluid",
+            title="Hybrid-fidelity day: diurnal cycle, churn, lane outage",
+            description=(
+                "Two fluid cohorts ride a day curve: nighttime trough, a "
+                "diurnal daytime hump, a flash spike, and an evening "
+                "wind-down, with one cohort active only mid-day (churn) "
+                "and a lane outage during the spike. Checks the "
+                "tagged-flow digests and integer-exact bulk counts per "
+                "phase."
+            ),
+            horizon=120.0,
+            sample_bytes=256 * 1024,
+            lanes=4,
+            tagged=2,
+            users=64,
+            tenants=(
+                TenantDef(name="home", kind="poisson", rate=0.6),
+                TenantDef(
+                    name="work", kind="poisson", rate=0.4,
+                    join=0.1, leave=0.9, users=48,
+                ),
+            ),
+            phases=(
+                PhaseSpec("night", duration=1.0, level=0.5),
+                PhaseSpec(
+                    "day", duration=2.0, shape="diurnal", level=1.2,
+                    amplitude=0.6, steps=8,
+                ),
+                PhaseSpec("flash", duration=0.25, level=3.0),
+                PhaseSpec("evening", duration=1.0, shape="ramp", level=0.6,
+                          steps=3),
+            ),
+            events=(
+                EventSpec("lane_outage", at=0.55, until=0.6, target=0),
+            ),
+        ),
+    ]
+    out: Dict[str, Scenario] = {}
+    for scn in scenarios:
+        scn.validate()
+        out[scn.name] = scn
+    return out
+
+
+SCENARIOS: Dict[str, Scenario] = _pack()
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+def get_scenario(name: str) -> Scenario:
+    scn = SCENARIOS.get(name)
+    if scn is None:
+        raise ConfigError(
+            f"unknown scenario {name!r} (have: {', '.join(scenario_names())})"
+        )
+    return scn

@@ -239,13 +239,27 @@ class ArrivalSchedule:
 
     @staticmethod
     def _index_at(seg: _SchedSeg, t: float) -> int:
-        """First arrival index ``k`` with ``t_k >= t`` (clamped)."""
+        """First arrival index ``k`` with ``t_k >= t`` (clamped).
+
+        Exact inverse of the ``t_k = start + (k + 0.5) * gap`` grid:
+        the division round-trip can land one off for non-dyadic gaps,
+        so the candidate is snapped against the grid expression itself
+        (the one :meth:`arrivals_between` emits).  Without the snap, a
+        window cut through an arrival instant could count it twice or
+        drop it, and per-interval counts would stop telescoping.
+        """
         if seg.count == 0:
             return 0
-        k = math.ceil((t - seg.start) / seg.gap - 0.5)
+        k = int(math.ceil((t - seg.start) / seg.gap - 0.5))
         if k < 0:
-            return 0
-        return seg.count if k > seg.count else int(k)
+            k = 0
+        elif k > seg.count:
+            k = seg.count
+        while k > 0 and seg.start + (k - 0.5) * seg.gap >= t:
+            k -= 1
+        while k < seg.count and seg.start + (k + 0.5) * seg.gap < t:
+            k += 1
+        return k
 
     def count_between(self, a: float, b: float) -> int:
         """Arrivals with ``a <= t_k < b``."""
@@ -772,10 +786,12 @@ def _tagged_process(env, lane: FluidLane, flow: TaggedFlow,
         seq += 1
 
 
-def _boundaries(spec: ScaleSpec) -> List[float]:
+def _boundaries(spec: ScaleSpec, cohorts=None) -> List[float]:
     """Epoch boundaries: envelope edges, faults, churn, window ends."""
     edges = [0.0, spec.day]
-    for _, envelope, _ in _cohort_envelopes(spec):
+    if cohorts is None:
+        cohorts = _cohort_envelopes(spec)
+    for _, envelope, _ in cohorts:
         edges.extend(envelope.boundaries())
     window = spec.event_window * spec.day
     forcing = []
@@ -793,7 +809,12 @@ def _boundaries(spec: ScaleSpec) -> List[float]:
     return out
 
 
-def run_scale(spec: ScaleSpec, mode: str = "hybrid", registry=None) -> ScaleReport:
+def run_scale(
+    spec: ScaleSpec,
+    mode: str = "hybrid",
+    registry=None,
+    envelopes=None,
+) -> ScaleReport:
     """Simulate the fleet-scale day at the requested fidelity.
 
     ``mode="hybrid"`` advances bulk lanes analytically between epoch
@@ -801,10 +822,24 @@ def run_scale(spec: ScaleSpec, mode: str = "hybrid", registry=None) -> ScaleRepo
     ``mode="event"`` emits every bulk arrival as a kernel event.  Both
     share the anchor trajectory, schedules, and tagged substreams, so
     tagged results are bit-identical (see :func:`equivalence_check`).
+
+    ``envelopes`` overrides the built-in diurnal cohort envelopes with
+    explicit ``(name, RateEnvelope, flows)`` triples — the scenario DSL
+    compiles its phase timelines into these.  Each envelope must span
+    exactly ``[0, spec.day]``.
     """
     if mode not in ("hybrid", "event"):
         raise ConfigError(f"unknown scale mode {mode!r}")
     spec.validate()
+    if envelopes is not None:
+        for name, envelope, flows in envelopes:
+            if envelope.start != 0.0 or envelope.end != spec.day:
+                raise ConfigError(
+                    f"cohort {name!r}: envelope spans "
+                    f"[{envelope.start}, {envelope.end}], expected [0, {spec.day}]"
+                )
+            if flows < 1:
+                raise ConfigError(f"cohort {name!r}: flows {flows} < 1")
     from .engine import Environment
     env = Environment()
     stages = _lane_stages(spec)
@@ -812,7 +847,7 @@ def run_scale(spec: ScaleSpec, mode: str = "hybrid", registry=None) -> ScaleRepo
         FluidLane(env, f"lane{i}", stages, registry=registry)
         for i in range(spec.lanes)
     ]
-    cohorts = _cohort_envelopes(spec)
+    cohorts = list(envelopes) if envelopes is not None else _cohort_envelopes(spec)
     records: List[TaggedRecord] = []
 
     # Bulk schedules: each cohort's non-tagged mass, split evenly over
@@ -865,7 +900,7 @@ def run_scale(spec: ScaleSpec, mode: str = "hybrid", registry=None) -> ScaleRepo
     for _, join, leave in spec.churn:
         churn_edges.extend([join * spec.day, leave * spec.day])
 
-    edges = _boundaries(spec)
+    edges = _boundaries(spec, cohorts)
     for a, b in zip(edges, edges[1:]):
         down = fault_down.get(a)
         if down is not None:
@@ -935,7 +970,7 @@ def run_scale(spec: ScaleSpec, mode: str = "hybrid", registry=None) -> ScaleRepo
     return report
 
 
-def equivalence_check(spec: ScaleSpec) -> dict:
+def equivalence_check(spec: ScaleSpec, envelopes=None) -> dict:
     """The tagged-flow equivalence obligation, on one spec.
 
     Runs both fidelity modes and demands: exact tagged sample-order and
@@ -943,8 +978,8 @@ def equivalence_check(spec: ScaleSpec) -> dict:
     and aggregate bulk latency sums within :data:`EQUIVALENCE_EPSILON`
     (relative).  Returns a JSON-able verdict.
     """
-    hybrid = run_scale(spec, mode="hybrid")
-    event = run_scale(spec, mode="event")
+    hybrid = run_scale(spec, mode="hybrid", envelopes=envelopes)
+    event = run_scale(spec, mode="event", envelopes=envelopes)
     failures: List[str] = []
     if hybrid.order_digest != event.order_digest:
         failures.append("tagged sample-order digest mismatch")

@@ -70,6 +70,12 @@ class TenantWorkload:
     #: Test hook: pin the first arrival instant (None = drawn).  Lets
     #: the sanitizer force same-timestamp arrivals from two tenants.
     start_offset: Optional[float] = None
+    #: Open loop only: restrict arrivals to ``[lo, hi)`` sim-seconds.
+    #: ``None`` keeps the legacy whole-horizon behavior bit-identical.
+    #: Scenario phases compile to one windowed workload per phase step,
+    #: so phase-scoped rates (and phase-scoped metrics) need no mid-run
+    #: mutation of a live generator.
+    window: Optional[tuple] = None
 
     def validate(self) -> None:
         if not self.name:
@@ -91,6 +97,17 @@ class TenantWorkload:
                 f"workload {self.name!r}: tail_shape must be > 1 "
                 "(finite-mean Pareto)"
             )
+        if self.window is not None:
+            if self.kind == "train":
+                raise ConfigError(
+                    f"workload {self.name!r}: window applies to open-loop "
+                    "kinds only"
+                )
+            lo, hi = self.window
+            if not 0 <= lo < hi:
+                raise ConfigError(
+                    f"workload {self.name!r}: bad window [{lo}, {hi})"
+                )
 
     def rate_envelope(
         self, horizon: float, sample_bytes: int, service_time: float = 0.0
@@ -220,9 +237,29 @@ class TrafficEngine:
         arr = self._stream(w, "arrival")
         pick = self._stream(w, "samples", extra=1)
         lo, hi = self._range(w)
+        if w.window is not None:
+            yield from self._windowed_open_loop(w, arr, pick, lo, hi)
+            return
         t = w.start_offset if w.start_offset is not None else self._gap(w, arr)
         seq = 0
         while t <= self.horizon:
+            if t > self.env.now:
+                yield self.env.timeout(t - self.env.now)
+            samples = pick.integers(lo, hi, size=w.batch).astype(np.int64)
+            self._submit(w, (0, seq), samples)
+            seq += 1
+            t += self._gap(w, arr)
+
+    def _windowed_open_loop(self, w: TenantWorkload, arr, pick, lo, hi):
+        # Arrivals confined to [win_lo, win_hi): the first instant is
+        # win_lo plus a drawn gap, so two phase-step workloads sharing a
+        # boundary can never collide on the same timestamp (distinct rng
+        # substreams => distinct gaps), and a rate change at a boundary
+        # is a clean renewal-process restart.
+        win_lo, win_hi = w.window
+        t = win_lo + self._gap(w, arr)
+        seq = 0
+        while t < win_hi and t <= self.horizon:
             if t > self.env.now:
                 yield self.env.timeout(t - self.env.now)
             samples = pick.integers(lo, hi, size=w.batch).astype(np.int64)

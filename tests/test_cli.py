@@ -45,3 +45,94 @@ class TestFigure:
     def test_bad_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestScenario:
+    """The `scenario` subcommand: list/run/record/check round trip.
+
+    Heavy paths stay on the cheapest scenario in quick mode; the pack's
+    full-scale goldens are exercised by the committed-golden check in
+    CI, not here.
+    """
+
+    def test_list_names_the_pack(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("flash-crowd", "rolling-upgrade", "diurnal-day"):
+            assert name in out
+
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["scenario", "list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["name"] for r in rows} >= {"flash-crowd", "pushdown-surge"}
+        assert all("golden" in r for r in rows)
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenario", "run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_quick_prints_digest(self, capsys):
+        assert main(["scenario", "run", "flash-crowd", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "flash-crowd" in out and "[quick]" in out and "digest" in out
+
+    def test_record_requires_label(self, tmp_path, capsys):
+        assert main([
+            "scenario", "record", "flash-crowd",
+            "--golden-root", str(tmp_path),
+        ]) == 2
+        assert "label" in capsys.readouterr().err
+
+    def test_record_then_check_roundtrip(self, tmp_path, capsys):
+        import json
+
+        root = str(tmp_path)
+        # record writes both modes; check --quick replays the quick one.
+        assert main([
+            "scenario", "record", "flash-crowd",
+            "--label", "test baseline", "--golden-root", root,
+        ]) == 0
+        assert (tmp_path / "scenarios" / "golden"
+                / "flash-crowd.json").exists()
+        capsys.readouterr()
+        assert main([
+            "scenario", "check", "flash-crowd", "--quick",
+            "--golden-root", root,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OK flash-crowd [quick]" in out
+        assert "scenario check: PASS" in out
+        # the JSON report carries the per-mode verdicts
+        assert main([
+            "scenario", "check", "flash-crowd", "--quick", "--json",
+            "--golden-root", root,
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["flash-crowd"]["quick"]["ok"] is True
+
+    def test_check_catches_injected_drift(self, tmp_path, capsys):
+        root = str(tmp_path)
+        assert main([
+            "scenario", "record", "flash-crowd",
+            "--label", "test baseline", "--golden-root", root,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "scenario", "check", "flash-crowd", "--quick",
+            "--perturb", "0.01", "--golden-root", root,
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT flash-crowd [quick]" in out
+        assert "label: test baseline" in out
+        assert "scenario check: FAIL" in out
+        # attribution: at least one drifted metric names a phase window
+        assert "[phase " in out
+
+    def test_check_without_golden_exits_2(self, tmp_path, capsys):
+        assert main([
+            "scenario", "check", "flash-crowd",
+            "--golden-root", str(tmp_path),
+        ]) == 2
+        assert "no golden master" in capsys.readouterr().err

@@ -99,6 +99,74 @@ class TestEnvelope:
         assert ArrivalSchedule(envl, fraction=0.25).total == 25
 
 
+class TestZeroRateBoundaries:
+    """Phase boundaries against rate=0 intervals (diurnal troughs).
+
+    Scenario phase windows cut exactly at segment edges, including the
+    edges of idle troughs; the golden-master per-phase bulk counts rely
+    on ``_index_at`` being an exact inverse of the arrival grid and on
+    per-interval counts telescoping integer-exactly across those cuts.
+    """
+
+    #: Night trough, morning ramp, midday idle dip, afternoon, evening off.
+    TROUGHY = RateEnvelope((
+        Segment(0.0, 1.0, 0.0, 64),
+        Segment(1.0, 2.0, 173.0, 64),
+        Segment(2.0, 2.5, 0.0, 64),
+        Segment(2.5, 4.0, 41.0, 64),
+        Segment(4.0, 5.0, 0.0, 64),
+    ))
+
+    def test_index_at_is_exact_inverse_on_the_grid(self):
+        sched = ArrivalSchedule(self.TROUGHY)
+        for seg in sched.segments:
+            for k in range(seg.count):
+                t_k = seg.start + (k + 0.5) * seg.gap
+                # First index with t >= t_k is k itself, exactly.
+                assert sched._index_at(seg, t_k) == k
+                # Nudging past t_k moves to k+1: no arrival is ever
+                # double-counted or dropped at a cut through t_k.
+                assert sched._index_at(seg, math.nextafter(t_k, seg.end)) == k + 1
+        zero = sched.segments[0]
+        assert zero.count == 0 and sched._index_at(zero, 0.5) == 0
+
+    def test_zero_rate_interval_counts_zero_and_edges_are_clean(self):
+        sched = ArrivalSchedule(self.TROUGHY)
+        assert sched.count_between(0.0, 1.0) == 0
+        assert sched.count_between(2.0, 2.5) == 0
+        assert sched.count_between(4.0, 5.0) == 0
+        # A window ending exactly on a trough edge equals the same
+        # window extended through the whole trough.
+        assert sched.count_between(1.0, 2.0) == sched.count_between(1.0, 2.5)
+        assert sched.count_between(1.0, 2.0) == 173
+
+    def test_interval_counts_telescope_across_troughs(self):
+        sched = ArrivalSchedule(self.TROUGHY)
+        # Cuts at every segment edge plus awkward interior points,
+        # including points inside the zero-rate troughs.
+        cuts = [0.0, 0.3, 1.0, 1.337, 1.99999, 2.0, 2.25, 2.5,
+                3.1, 4.0, 4.5, 5.0]
+        counts = [sched.count_between(a, b) for a, b in zip(cuts, cuts[1:])]
+        assert sum(counts) == sched.count_between(0.0, 5.0) == sched.total
+        assert sched.total == 173 + round(1.5 * 41.0)
+
+    def test_diurnal_trough_phase_windows_telescope(self):
+        # A churned diurnal tenant: active only [6, 18) of a 24h day,
+        # so the envelope carries real zero-rate head/tail segments.
+        envl = RateEnvelope.diurnal(
+            100.0, 64, day=24.0, segments=24, active=(6.0, 18.0)
+        )
+        sched = ArrivalSchedule(envl, fraction=0.875)
+        edges = [0.0] + [e for e in envl.boundaries() if e > 0.0]
+        per_seg = [sched.count_between(a, b)
+                   for a, b in zip(edges, edges[1:])]
+        assert sum(per_seg) == sched.total
+        # Head and tail zero-rate windows contribute exactly nothing.
+        assert sched.count_between(0.0, 6.0) == 0
+        assert sched.count_between(18.0, 24.0) == 0
+        assert sched.count_between(6.0, 18.0) == sched.total
+
+
 # ---------------------------------------------------------------------------
 # FluidLane closed form vs all-event offers
 # ---------------------------------------------------------------------------
